@@ -1,0 +1,83 @@
+// Ablation bench (beyond the paper's tables; DESIGN.md SS6): quantifies
+// what each protocol mechanism buys on the small-scale deadlock-prone
+// workload.
+//   1. full Splicer
+//   2. no imbalance price (eta = 0): capacity-only pricing
+//   3. no rate control (alpha = 0): windows + queues only
+//   4. no source gating: congestion handled purely in-network
+//   5. TU size bounds sweep (Min/Max-TU)
+
+#include <iostream>
+
+#include "bench_util.h"
+
+using namespace splicer;
+
+int main() {
+  std::cout << "=== Ablation: Splicer rate-control mechanisms ===\n"
+            << (bench::fast_mode() ? "(fast mode: quarter workload)\n" : "");
+  const auto scenario = routing::prepare_scenario(bench::small_scale_config());
+
+  common::Table table({"variant", "TSR", "throughput", "avg delay (ms)",
+                       "TUs marked"});
+  const auto run_variant = [&](const std::string& name,
+                               routing::SchemeConfig config) {
+    const auto m = routing::run_scheme(scenario, routing::Scheme::kSplicer, config);
+    const auto row = table.add_row();
+    table.set(row, 0, name);
+    table.set(row, 1, common::format_percent(m.tsr()));
+    table.set(row, 2, common::format_percent(m.normalized_throughput()));
+    table.set(row, 3, m.average_delay_s() * 1000.0, 1);
+    table.set(row, 4, static_cast<std::int64_t>(m.tus_marked));
+  };
+
+  run_variant("full Splicer", {});
+  {
+    routing::SchemeConfig config;
+    config.protocol.eta = 0.0;  // imbalance price off (eq. 22 disabled)
+    run_variant("no imbalance price (eta=0)", config);
+  }
+  {
+    routing::SchemeConfig config;
+    config.protocol.alpha = 0.0;  // rates frozen at initial (eq. 26 disabled)
+    run_variant("no rate control (alpha=0)", config);
+  }
+  {
+    routing::SchemeConfig config;
+    config.protocol.source_gating = false;
+    run_variant("no source gating", config);
+  }
+  {
+    routing::SchemeConfig config;
+    config.protocol.source_gating = false;
+    config.protocol.eta = 0.0;
+    config.protocol.alpha = 0.0;
+    run_variant("windows/queues only (all pricing off)", config);
+  }
+  bench::emit("rate-control ablation", table, "ablation_rate_control");
+
+  // TU size bounds sweep.
+  common::Table tu_table({"Min-TU / Max-TU (tokens)", "TSR", "throughput",
+                          "TUs per payment"});
+  for (const auto& [min_tu, max_tu] :
+       std::vector<std::pair<double, double>>{
+           {1, 2}, {1, 4}, {1, 8}, {2, 8}, {1, 16}, {4, 16}}) {
+    routing::SchemeConfig config;
+    config.protocol.min_tu = common::tokens(min_tu);
+    config.protocol.max_tu = common::tokens(max_tu);
+    const auto m = routing::run_scheme(scenario, routing::Scheme::kSplicer, config);
+    const auto row = tu_table.add_row();
+    tu_table.set(row, 0,
+                 common::format_double(min_tu, 0) + " / " +
+                     common::format_double(max_tu, 0));
+    tu_table.set(row, 1, common::format_percent(m.tsr()));
+    tu_table.set(row, 2, common::format_percent(m.normalized_throughput()));
+    tu_table.set(row, 3,
+                 static_cast<double>(m.tus_sent) /
+                     static_cast<double>(m.payments_generated),
+                 1);
+  }
+  bench::emit("TU size-bound sweep (paper default 1/4)", tu_table,
+              "ablation_tu_bounds");
+  return 0;
+}

@@ -1,0 +1,70 @@
+#pragma once
+
+// Shared helpers for the figure/table reproduction benches.
+//
+// Environment knobs:
+//   SPLICER_BENCH_FAST=1   quarter-size workloads (smoke runs / CI)
+//   SPLICER_BENCH_SEED=N   override the base seed (default 42)
+//   SPLICER_BENCH_CSV=dir  also write each table as CSV into `dir`
+
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "common/table.h"
+#include "routing/experiment.h"
+
+namespace splicer::bench {
+
+inline bool fast_mode() {
+  const char* v = std::getenv("SPLICER_BENCH_FAST");
+  return v != nullptr && v[0] == '1';
+}
+
+inline std::uint64_t base_seed() {
+  const char* v = std::getenv("SPLICER_BENCH_SEED");
+  return v != nullptr ? std::strtoull(v, nullptr, 10) : 42;
+}
+
+/// Scales a payment count down in fast mode.
+inline std::size_t scaled(std::size_t n) { return fast_mode() ? n / 4 : n; }
+
+/// Prints a titled table and optionally mirrors it to CSV.
+inline void emit(const std::string& title, const common::Table& table,
+                 const std::string& csv_name) {
+  std::cout << "\n## " << title << "\n\n" << table.render();
+  if (const char* dir = std::getenv("SPLICER_BENCH_CSV")) {
+    const std::string path = std::string(dir) + "/" + csv_name + ".csv";
+    table.write_csv(path);
+    std::cout << "(csv: " << path << ")\n";
+  }
+}
+
+/// Small-scale scenario defaults (paper: 100 nodes).
+inline routing::ScenarioConfig small_scale_config() {
+  routing::ScenarioConfig config;
+  config.seed = base_seed();
+  config.topology.nodes = 100;
+  config.placement.candidate_count = 10;
+  config.placement.omega = 0.1;
+  config.workload.payment_count = scaled(1500);
+  config.workload.horizon_seconds = 25.0;
+  return config;
+}
+
+/// Large-scale scenario defaults (paper: 3000 nodes). The offered load
+/// grows with the client population, which is what stresses single-hub
+/// and source-routing schemes at scale.
+inline routing::ScenarioConfig large_scale_config() {
+  routing::ScenarioConfig config;
+  config.seed = base_seed();
+  config.topology.nodes = 3000;
+  config.placement.candidate_count = 30;
+  config.placement.prefer_exact = false;  // double greedy (paper Alg. 1)
+  config.placement.omega = 0.1;
+  config.workload.payment_count = scaled(3000);
+  config.workload.horizon_seconds = 18.0;
+  return config;
+}
+
+}  // namespace splicer::bench

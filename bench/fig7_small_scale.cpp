@@ -1,0 +1,12 @@
+// Reproduces paper Fig. 7: Splicer vs Spider/Flash/Landmark/A2L on the
+// small-scale network (100 nodes), four panels (see fig_common.h).
+
+#include "fig_common.h"
+
+int main() {
+  using namespace splicer;
+  std::cout << "=== Fig. 7: small-scale network (100 nodes) ===\n"
+            << (bench::fast_mode() ? "(fast mode: quarter workload)\n" : "");
+  bench::run_figure("fig7", bench::small_scale_config());
+  return 0;
+}

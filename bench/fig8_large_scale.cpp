@@ -1,0 +1,15 @@
+// Reproduces paper Fig. 8: the same four panels as Fig. 7 on the
+// large-scale network (3000 nodes; the paper defines >3000 nodes as
+// large-scale). Splicer's margin should widen here: source-routing senders
+// pay route-computation costs that grow with the topology, and the A2L
+// single hub saturates under the larger offered load.
+
+#include "fig_common.h"
+
+int main() {
+  using namespace splicer;
+  std::cout << "=== Fig. 8: large-scale network (3000 nodes) ===\n"
+            << (bench::fast_mode() ? "(fast mode: quarter workload)\n" : "");
+  bench::run_figure("fig8", bench::large_scale_config());
+  return 0;
+}

@@ -1,0 +1,121 @@
+// Reproduces paper Fig. 9: smooth-node placement evaluation.
+//   (a) balance cost vs omega: approximation (paper Alg. 1) vs optimal
+//   (b) management/synchronisation cost tradeoff with (omega, #hubs) labels
+//   (c) #smooth nodes vs omega, small scale
+//   (d) #smooth nodes vs omega, large scale
+//   (e) avg transaction delay vs total traffic overhead, small scale,
+//       with PCHs (iterating omega) vs without PCHs (source routing)
+//   (f) same at large scale
+
+#include <iostream>
+
+#include "bench_util.h"
+#include "graph/generators.h"
+#include "placement/approx_solver.h"
+#include "placement/cost_model.h"
+#include "placement/exhaustive_solver.h"
+
+using namespace splicer;
+
+namespace {
+
+const std::vector<double> kOmegas{0.01, 0.02, 0.04, 0.08, 0.16, 0.32, 0.64, 1.0};
+
+void panels_abc(const graph::Graph& g, std::size_t candidates) {
+  common::Table cost_table(
+      {"omega", "optimal C_B", "approx C_B", "approx/optimal"});
+  common::Table tradeoff_table(
+      {"omega", "#hubs", "C_M (management)", "C_S (synchronisation)"});
+  common::Table hubs_table({"omega", "#hubs optimal", "#hubs approx"});
+
+  for (const double omega : kOmegas) {
+    const auto instance = placement::build_instance_by_degree(g, candidates, omega);
+    const auto exact = placement::solve_exhaustive(instance);
+    const auto approx = placement::solve_approx(instance);
+
+    auto row = cost_table.add_row();
+    cost_table.set(row, 0, omega, 2);
+    cost_table.set(row, 1, exact.costs.balance, 3);
+    cost_table.set(row, 2, approx.costs.balance, 3);
+    cost_table.set(row, 3, approx.costs.balance / exact.costs.balance, 3);
+
+    row = tradeoff_table.add_row();
+    tradeoff_table.set(row, 0, omega, 2);
+    tradeoff_table.set(row, 1, static_cast<std::int64_t>(exact.plan.hub_count()));
+    tradeoff_table.set(row, 2, exact.costs.management, 3);
+    tradeoff_table.set(row, 3, exact.costs.synchronization, 3);
+
+    row = hubs_table.add_row();
+    hubs_table.set(row, 0, omega, 2);
+    hubs_table.set(row, 1, static_cast<std::int64_t>(exact.plan.hub_count()));
+    hubs_table.set(row, 2, static_cast<std::int64_t>(approx.plan.hub_count()));
+  }
+  bench::emit("fig9(a) balance cost vs omega: approximation vs optimal",
+              cost_table, "fig9a_balance_cost");
+  bench::emit("fig9(b) management/synchronisation tradeoff (optimal plans)",
+              tradeoff_table, "fig9b_tradeoff");
+  bench::emit("fig9(c) number of smooth nodes vs omega (small scale)",
+              hubs_table, "fig9c_hub_count_small");
+}
+
+void panel_d() {
+  common::Rng rng(bench::base_seed());
+  const auto g = graph::watts_strogatz(3000, 8, 0.15, rng);
+  common::Table table({"omega", "#hubs (double greedy)"});
+  for (const double omega : kOmegas) {
+    const auto instance = placement::build_instance_by_degree(g, 30, omega);
+    const auto approx = placement::solve_approx(instance);
+    const auto row = table.add_row();
+    table.set(row, 0, omega, 2);
+    table.set(row, 1, static_cast<std::int64_t>(approx.plan.hub_count()));
+  }
+  bench::emit("fig9(d) number of smooth nodes vs omega (large scale, 3000 nodes)",
+              table, "fig9d_hub_count_large");
+}
+
+void panels_ef(const char* label, routing::ScenarioConfig base,
+               const std::string& csv) {
+  common::Table table(
+      {"configuration", "avg delay (ms)", "total overhead (messages)", "TSR"});
+  for (const double omega : {0.01, 0.04, 0.16, 0.64}) {
+    auto config = base;
+    config.placement.omega = omega;
+    const auto scenario = routing::prepare_scenario(config);
+    const auto m = routing::run_scheme(scenario, routing::Scheme::kSplicer);
+    const auto row = table.add_row();
+    table.set(row, 0,
+              "with PCHs, omega=" + common::format_double(omega, 2) + " (" +
+                  std::to_string(scenario.multi_star.hubs.size()) + " hubs)");
+    table.set(row, 1, m.average_delay_s() * 1000.0, 1);
+    table.set(row, 2, static_cast<std::int64_t>(m.messages.total()));
+    table.set(row, 3, common::format_percent(m.tsr()));
+  }
+  // Without smooth nodes: source routing (Spider) fixed point.
+  const auto scenario = routing::prepare_scenario(base);
+  const auto spider = routing::run_scheme(scenario, routing::Scheme::kSpider);
+  const auto row = table.add_row();
+  table.set(row, 0, "without PCHs (source routing)");
+  table.set(row, 1, spider.average_delay_s() * 1000.0, 1);
+  table.set(row, 2, static_cast<std::int64_t>(spider.messages.total()));
+  table.set(row, 3, common::format_percent(spider.tsr()));
+  bench::emit(label, table, csv);
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "=== Fig. 9: smooth-node placement evaluation ===\n"
+            << (bench::fast_mode() ? "(fast mode: quarter workload)\n" : "");
+
+  common::Rng rng(bench::base_seed());
+  const auto g_small = graph::watts_strogatz(100, 8, 0.15, rng);
+  panels_abc(g_small, 12);
+  panel_d();
+  panels_ef("fig9(e) delay vs overhead, small scale", bench::small_scale_config(),
+            "fig9e_delay_overhead_small");
+  auto large = bench::large_scale_config();
+  large.workload.payment_count = bench::scaled(2000);
+  panels_ef("fig9(f) delay vs overhead, large scale", large,
+            "fig9f_delay_overhead_large");
+  return 0;
+}

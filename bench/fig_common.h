@@ -1,0 +1,114 @@
+#pragma once
+
+// The Fig. 7 / Fig. 8 sweep driver: both figures show the same four panels
+// (TSR vs channel size, TSR vs transaction size, TSR vs update time,
+// normalised throughput) at the two network scales, comparing the five
+// schemes. One driver, two scale configs.
+
+#include <iostream>
+#include <vector>
+
+#include "bench_util.h"
+
+namespace splicer::bench {
+
+inline void run_figure(const std::string& figure, routing::ScenarioConfig base) {
+  using routing::Scheme;
+  const auto schemes = routing::comparison_schemes();
+
+  const auto scheme_header = [&] {
+    std::vector<std::string> header{"sweep"};
+    for (const auto s : schemes) header.emplace_back(routing::to_string(s));
+    return header;
+  };
+
+  // ---- (a) TSR vs channel size -----------------------------------------
+  {
+    common::Table table(scheme_header());
+    for (const double scale : {0.5, 1.0, 2.0, 4.0, 8.0}) {
+      auto config = base;
+      config.topology.fund_scale = scale;
+      const auto scenario = routing::prepare_scenario(config);
+      const auto row = table.add_row();
+      table.set(row, 0, "x" + common::format_double(scale, 1));
+      for (std::size_t i = 0; i < schemes.size(); ++i) {
+        const auto m = routing::run_scheme(scenario, schemes[i]);
+        table.set(row, i + 1, common::format_percent(m.tsr()));
+      }
+    }
+    emit(figure + "(a) TSR vs channel size (x mean 403 tokens)", table,
+         figure + "a_channel_size");
+  }
+
+  // ---- (b) TSR vs transaction size --------------------------------------
+  {
+    common::Table table(scheme_header());
+    for (const double scale : {0.25, 0.5, 1.0, 2.0, 4.0}) {
+      auto config = base;
+      config.workload.value_scale = scale;
+      const auto scenario = routing::prepare_scenario(config);
+      const auto row = table.add_row();
+      table.set(row, 0, "x" + common::format_double(scale, 2));
+      for (std::size_t i = 0; i < schemes.size(); ++i) {
+        const auto m = routing::run_scheme(scenario, schemes[i]);
+        table.set(row, i + 1, common::format_percent(m.tsr()));
+      }
+    }
+    emit(figure + "(b) TSR vs transaction size (x credit-card mean 88)", table,
+         figure + "b_txn_size");
+  }
+
+  // ---- (c) TSR vs update time + (d) normalised throughput ---------------
+  {
+    common::Table tsr_table(scheme_header());
+    common::Table thr_table(scheme_header());
+    const auto scenario = routing::prepare_scenario(base);
+    std::vector<double> splicer_tsr, best_other_tsr;
+    std::vector<double> splicer_thr, best_other_thr;
+    for (const double tau : {0.1, 0.2, 0.4, 0.7, 1.0}) {
+      routing::SchemeConfig scheme_config;
+      scheme_config.protocol.tau_s = tau;
+      const auto tsr_row = tsr_table.add_row();
+      const auto thr_row = thr_table.add_row();
+      tsr_table.set(tsr_row, 0, common::format_double(tau * 1000, 0) + "ms");
+      thr_table.set(thr_row, 0, common::format_double(tau * 1000, 0) + "ms");
+      double other_best_tsr = 0.0, other_best_thr = 0.0;
+      for (std::size_t i = 0; i < schemes.size(); ++i) {
+        const auto m = routing::run_scheme(scenario, schemes[i], scheme_config);
+        tsr_table.set(tsr_row, i + 1, common::format_percent(m.tsr()));
+        thr_table.set(thr_row, i + 1,
+                      common::format_percent(m.normalized_throughput()));
+        if (schemes[i] == routing::Scheme::kSplicer) {
+          splicer_tsr.push_back(m.tsr());
+          splicer_thr.push_back(m.normalized_throughput());
+        } else {
+          other_best_tsr = std::max(other_best_tsr, m.tsr());
+          other_best_thr = std::max(other_best_thr, m.normalized_throughput());
+        }
+      }
+      best_other_tsr.push_back(other_best_tsr);
+      best_other_thr.push_back(other_best_thr);
+    }
+    emit(figure + "(c) TSR vs update time tau", tsr_table,
+         figure + "c_update_time");
+    emit(figure + "(d) normalised throughput vs update time tau", thr_table,
+         figure + "d_throughput");
+
+    // Headline block (paper SS V-B: Splicer vs best-of-the-rest averages).
+    double tsr_gain = 0.0, thr_gain = 0.0;
+    for (std::size_t i = 0; i < splicer_tsr.size(); ++i) {
+      tsr_gain += splicer_tsr[i] - best_other_tsr[i];
+      thr_gain += splicer_thr[i] - best_other_thr[i];
+    }
+    tsr_gain /= static_cast<double>(splicer_tsr.size());
+    thr_gain /= static_cast<double>(splicer_thr.size());
+    std::cout << "\nHeadline (" << figure
+              << "): Splicer vs best baseline, averaged over the tau sweep:\n"
+              << "  TSR        " << common::format_double(tsr_gain * 100, 1)
+              << " points higher\n"
+              << "  throughput " << common::format_double(thr_gain * 100, 1)
+              << " points higher\n";
+  }
+}
+
+}  // namespace splicer::bench

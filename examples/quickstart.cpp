@@ -1,0 +1,55 @@
+// Quickstart: run the full Splicer pipeline on a 100-node small-world PCN.
+//
+//   placement (exact, Lemma-1 oracle) -> multi-star transform -> KMG +
+//   encrypted payment workflow -> rate-based deadlock-free routing, and
+//   compare the result against the Spider baseline on the same workload.
+//
+// Build & run:
+//   cmake -B build -G Ninja && cmake --build build
+//   ./build/examples/quickstart [seed]
+
+#include <cstdlib>
+#include <iostream>
+
+#include "common/table.h"
+#include "splicer/system.h"
+
+int main(int argc, char** argv) {
+  using namespace splicer;
+
+  core::SystemOptions options;
+  options.scenario.seed = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 7;
+  options.scenario.topology.nodes = 100;
+  options.scenario.placement.candidate_count = 10;
+  options.scenario.placement.omega = 0.1;
+  options.scenario.workload.payment_count = 1500;
+  options.scenario.workload.horizon_seconds = 20.0;
+
+  std::cout << "=== Splicer quickstart (100-node Watts-Strogatz PCN) ===\n\n";
+
+  core::SplicerSystem system(options);
+  const auto& scenario = system.scenario();
+  std::cout << "topology: " << scenario.raw.node_count() << " nodes, "
+            << scenario.raw.channel_count() << " channels (raw)\n"
+            << "placement: " << scenario.multi_star.hubs.size()
+            << " smooth nodes selected from "
+            << scenario.instance.candidate_count() << " candidates\n"
+            << "multi-star: " << scenario.multi_star.network.channel_count()
+            << " channels after redundant-channel removal\n\n";
+
+  const auto report = system.run();
+  std::cout << "--- Splicer ---\n" << report.summary() << "\n\n";
+
+  const auto spider =
+      routing::run_scheme(scenario, routing::Scheme::kSpider, options.scheme);
+  std::cout << "--- Spider (baseline, same workload) ---\n"
+            << "TSR=" << common::format_percent(spider.tsr())
+            << " throughput=" << common::format_percent(spider.normalized_throughput())
+            << " avg_delay="
+            << common::format_double(spider.average_delay_s() * 1000.0, 1) << "ms\n";
+
+  const double tsr_gain = report.metrics.tsr() - spider.tsr();
+  std::cout << "\nSplicer TSR advantage over Spider: "
+            << common::format_double(tsr_gain * 100.0, 1) << " points\n";
+  return 0;
+}

@@ -1,0 +1,38 @@
+// Message-level trace of one encrypted payment through the Splicer
+// workflow (paper Fig. 3): TLS handshake, payreq, KMG key issuance,
+// Enc/Dec of the demand, TU splitting with per-TU keys, ACK aggregation.
+
+#include <iostream>
+
+#include "splicer/workflow.h"
+
+using namespace splicer;
+
+int main() {
+  common::Rng rng(12345);
+  crypto::KeyManagementGroup kmg(/*member_count=*/5, rng.fork());
+  core::PaymentWorkflow workflow(kmg, rng);
+
+  core::PaymentDemand demand;
+  demand.sender = 17;
+  demand.receiver = 42;
+  demand.value = common::tokens(13.250);  // 13.25 tokens
+
+  std::cout << "=== Splicer payment workflow trace ===\n"
+            << "P_s=" << demand.sender << "  P_r=" << demand.receiver
+            << "  val=" << common::amount_to_string(demand.value) << " tokens\n"
+            << "KMG: " << kmg.member_count() << " members, threshold "
+            << kmg.threshold() << "\n\n";
+
+  const auto result = workflow.execute(demand);
+  for (const auto& line : result.trace) std::cout << "  " << line << "\n";
+
+  std::cout << "\nTUs: " << result.tu_count << " [";
+  for (std::size_t i = 0; i < result.tu_values.size(); ++i) {
+    std::cout << (i ? ", " : "") << common::amount_to_string(result.tu_values[i]);
+  }
+  std::cout << "]\nmessages: " << result.messages
+            << "\nKMG keys issued: " << kmg.issued_count()
+            << "\nresult: " << (result.success ? "SUCCESS" : "FAILURE") << "\n";
+  return result.success ? 0 : 1;
+}

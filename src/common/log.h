@@ -1,0 +1,39 @@
+#pragma once
+
+// Minimal leveled logger. Default level is Warn so tests and benches stay
+// quiet; examples raise it to Info to narrate the workflow.
+
+#include <sstream>
+#include <string>
+
+namespace splicer::common {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Global minimum level; messages below it are discarded.
+void set_log_level(LogLevel level) noexcept;
+[[nodiscard]] LogLevel log_level() noexcept;
+
+/// Writes one line to stderr if `level` passes the global threshold.
+void log_line(LogLevel level, const std::string& message);
+
+/// Stream-style logging: LogMessage(LogLevel::kInfo) << "x=" << x;
+class LogMessage {
+ public:
+  explicit LogMessage(LogLevel level) : level_(level) {}
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+  ~LogMessage();
+
+  template <typename T>
+  LogMessage& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace splicer::common

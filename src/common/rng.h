@@ -1,0 +1,81 @@
+#pragma once
+
+// Deterministic pseudo-random number generation for simulations.
+//
+// We deliberately avoid <random> distribution objects: their output is
+// implementation-defined, which would make experiment results differ across
+// standard libraries. Everything here is bit-exact on any platform.
+//
+// The generator is xoshiro256** (Blackman & Vigna), seeded via splitmix64,
+// which is the recommended seeding procedure for the xoshiro family.
+
+#include <array>
+#include <cstdint>
+#include <cstddef>
+#include <vector>
+
+namespace splicer::common {
+
+/// splitmix64 step; used for seeding and as a cheap stateless hash.
+[[nodiscard]] std::uint64_t splitmix64(std::uint64_t& state) noexcept;
+
+/// Deterministic, platform-independent PRNG (xoshiro256**).
+class Rng {
+ public:
+  /// Seeds the full 256-bit state from a single 64-bit seed via splitmix64.
+  explicit Rng(std::uint64_t seed = 0x5eed5eed5eedULL) noexcept;
+
+  /// Next raw 64-bit value.
+  [[nodiscard]] std::uint64_t next_u64() noexcept;
+
+  /// Uniform integer in [0, bound). Requires bound > 0. Unbiased
+  /// (Lemire-style rejection).
+  [[nodiscard]] std::uint64_t next_below(std::uint64_t bound) noexcept;
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  [[nodiscard]] std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) noexcept;
+
+  /// Uniform double in [0, 1).
+  [[nodiscard]] double uniform01() noexcept;
+
+  /// Uniform double in [lo, hi).
+  [[nodiscard]] double uniform(double lo, double hi) noexcept;
+
+  /// Bernoulli trial with success probability p (clamped to [0,1]).
+  [[nodiscard]] bool bernoulli(double p) noexcept;
+
+  /// Standard normal via Box-Muller (deterministic, no cached spare).
+  [[nodiscard]] double normal() noexcept;
+
+  /// Normal with mean/stddev.
+  [[nodiscard]] double normal(double mean, double stddev) noexcept;
+
+  /// Exponential with given rate (mean 1/rate). Requires rate > 0.
+  [[nodiscard]] double exponential(double rate) noexcept;
+
+  /// Log-normal: exp(normal(mu, sigma)).
+  [[nodiscard]] double log_normal(double mu, double sigma) noexcept;
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& v) noexcept {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      const std::size_t j = static_cast<std::size_t>(next_below(i));
+      using std::swap;
+      swap(v[i - 1], v[j]);
+    }
+  }
+
+  /// Uniformly chosen element index of a non-empty container size.
+  [[nodiscard]] std::size_t index(std::size_t size) noexcept {
+    return static_cast<std::size_t>(next_below(size));
+  }
+
+  /// Derives an independent child generator; stable given call order.
+  [[nodiscard]] Rng fork() noexcept;
+
+ private:
+  std::array<std::uint64_t, 4> state_{};
+};
+
+}  // namespace splicer::common

@@ -1,0 +1,67 @@
+#include "common/samplers.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace splicer::common {
+
+LogNormalSampler::LogNormalSampler(double median, double mean, double floor)
+    : floor_(floor) {
+  if (!(median > 0.0) || !(mean > 0.0)) {
+    throw std::invalid_argument("LogNormalSampler: median and mean must be > 0");
+  }
+  if (mean < median) {
+    throw std::invalid_argument("LogNormalSampler: mean must be >= median");
+  }
+  mu_ = std::log(median);
+  sigma_ = std::sqrt(2.0 * std::log(mean / median));
+}
+
+double LogNormalSampler::sample(Rng& rng) const {
+  return std::max(floor_, rng.log_normal(mu_, sigma_));
+}
+
+ZipfSampler::ZipfSampler(std::size_t n, double s) {
+  if (n == 0) throw std::invalid_argument("ZipfSampler: n must be > 0");
+  cdf_.resize(n);
+  double acc = 0.0;
+  for (std::size_t k = 0; k < n; ++k) {
+    acc += 1.0 / std::pow(static_cast<double>(k + 1), s);
+    cdf_[k] = acc;
+  }
+  for (auto& v : cdf_) v /= acc;
+  cdf_.back() = 1.0;  // guard against FP round-off at the tail
+}
+
+std::size_t ZipfSampler::sample(Rng& rng) const {
+  const double u = rng.uniform01();
+  const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  return static_cast<std::size_t>(it - cdf_.begin());
+}
+
+PoissonProcess::PoissonProcess(double rate_per_sec, double start_time)
+    : rate_(rate_per_sec), now_(start_time) {
+  if (!(rate_per_sec > 0.0)) {
+    throw std::invalid_argument("PoissonProcess: rate must be > 0");
+  }
+}
+
+double PoissonProcess::next(Rng& rng) {
+  now_ += rng.exponential(rate_);
+  return now_;
+}
+
+LogNormalSampler make_channel_size_sampler() {
+  return LogNormalSampler(ChannelSizeDefaults::kMedianTokens,
+                          ChannelSizeDefaults::kMeanTokens,
+                          ChannelSizeDefaults::kMinTokens);
+}
+
+LogNormalSampler make_txn_value_sampler() {
+  return LogNormalSampler(TxnValueDefaults::kMedianTokens,
+                          TxnValueDefaults::kMeanTokens,
+                          TxnValueDefaults::kMinTokens);
+}
+
+}  // namespace splicer::common

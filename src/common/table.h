@@ -1,0 +1,52 @@
+#pragma once
+
+// Aligned console tables and CSV emission for the benchmark harness. Every
+// figure/table bench prints a human-readable table (the paper's rows/series)
+// and can mirror it to CSV for plotting.
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace splicer::common {
+
+/// Column-aligned text table. Cells are strings; numeric helpers format with
+/// fixed precision so that series line up visually.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Starts a new row; returns the row index.
+  std::size_t add_row();
+
+  void set(std::size_t row, std::size_t col, std::string value);
+  void set(std::size_t row, std::size_t col, double value, int precision = 3);
+  void set(std::size_t row, std::size_t col, std::int64_t value);
+
+  /// Appends a full row at once (must match header width).
+  void add_row(std::vector<std::string> cells);
+
+  [[nodiscard]] std::size_t rows() const noexcept { return cells_.size(); }
+  [[nodiscard]] std::size_t cols() const noexcept { return header_.size(); }
+
+  /// Renders with a separator under the header.
+  [[nodiscard]] std::string render() const;
+
+  /// Emits RFC-4180-ish CSV (quotes cells containing commas/quotes).
+  [[nodiscard]] std::string to_csv() const;
+
+  /// Writes CSV to a file path; throws std::runtime_error on I/O failure.
+  void write_csv(const std::string& path) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> cells_;
+};
+
+/// Formats a double with fixed precision (helper shared with benches).
+[[nodiscard]] std::string format_double(double value, int precision = 3);
+
+/// Formats a ratio as a percentage string like "93.1%".
+[[nodiscard]] std::string format_percent(double ratio, int precision = 1);
+
+}  // namespace splicer::common

@@ -1,0 +1,60 @@
+#include "crypto/elgamal.h"
+
+namespace splicer::crypto {
+
+KeyPair generate_keypair(common::Rng& rng) {
+  KeyPair kp;
+  // Secret in [1, p-2]; avoid 0 (degenerate pk = 1).
+  kp.secret_key = 1 + rng.next_below(kPrime - 2);
+  kp.public_key = pow_mod(kGenerator, kp.secret_key);
+  return kp;
+}
+
+Bytes apply_keystream(std::uint64_t key, const Bytes& data) {
+  Bytes out(data.size());
+  std::uint64_t state = key ^ 0xa5a5a5a5a5a5a5a5ULL;
+  std::uint64_t word = 0;
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    if (i % 8 == 0) word = common::splitmix64(state);
+    out[i] = data[i] ^ static_cast<std::uint8_t>(word >> ((i % 8) * 8));
+  }
+  return out;
+}
+
+std::uint64_t auth_tag(std::uint64_t key, const Bytes& data) noexcept {
+  // FNV-1a over (key || data || length).
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  const auto mix = [&h](std::uint8_t byte) {
+    h ^= byte;
+    h *= 0x100000001b3ULL;
+  };
+  for (int i = 0; i < 8; ++i) mix(static_cast<std::uint8_t>(key >> (i * 8)));
+  for (const auto b : data) mix(b);
+  const std::uint64_t len = data.size();
+  for (int i = 0; i < 8; ++i) mix(static_cast<std::uint8_t>(len >> (i * 8)));
+  return h;
+}
+
+Ciphertext encrypt(std::uint64_t public_key, const Bytes& plaintext,
+                   common::Rng& rng) {
+  Ciphertext ct;
+  const std::uint64_t k = 1 + rng.next_below(kPrime - 2);
+  ct.ephemeral = pow_mod(kGenerator, k);
+  const std::uint64_t shared = pow_mod(public_key, k);
+  ct.body = apply_keystream(shared, plaintext);
+  ct.tag = auth_tag(shared, plaintext);
+  return ct;
+}
+
+bool decrypt(std::uint64_t secret_key, const Ciphertext& ciphertext,
+             Bytes& plaintext_out) {
+  const std::uint64_t shared = pow_mod(ciphertext.ephemeral, secret_key);
+  plaintext_out = apply_keystream(shared, ciphertext.body);
+  if (auth_tag(shared, plaintext_out) != ciphertext.tag) {
+    plaintext_out.clear();
+    return false;
+  }
+  return true;
+}
+
+}  // namespace splicer::crypto

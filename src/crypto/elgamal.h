@@ -1,0 +1,45 @@
+#pragma once
+
+// Simulated hybrid ElGamal over Z_p* (p = 2^61 - 1): ElGamal key agreement
+// derives a session key; the payload is XOR-encrypted under a splitmix64
+// keystream and authenticated with an FNV-1a tag. Toy parameters - see the
+// caveat in field.h. The interfaces mirror what the Splicer workflow needs:
+// fresh per-transaction keypairs and Enc(pk, D_tid) / Dec(sk, c).
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "crypto/field.h"
+
+namespace splicer::crypto {
+
+using Bytes = std::vector<std::uint8_t>;
+
+struct KeyPair {
+  std::uint64_t public_key = 0;   // g^sk
+  std::uint64_t secret_key = 0;   // in [1, p-1)
+};
+
+[[nodiscard]] KeyPair generate_keypair(common::Rng& rng);
+
+struct Ciphertext {
+  std::uint64_t ephemeral = 0;  // g^k
+  Bytes body;                   // keystream-XORed payload
+  std::uint64_t tag = 0;        // authenticator over plaintext
+};
+
+/// Encrypts `plaintext` to `public_key` with a fresh ephemeral exponent.
+[[nodiscard]] Ciphertext encrypt(std::uint64_t public_key, const Bytes& plaintext,
+                                 common::Rng& rng);
+
+/// Decrypts; returns false (and clears `plaintext_out`) if the tag check
+/// fails (tampered or wrong key).
+[[nodiscard]] bool decrypt(std::uint64_t secret_key, const Ciphertext& ciphertext,
+                           Bytes& plaintext_out);
+
+/// Keystream/tag helpers shared with SecureChannel.
+[[nodiscard]] Bytes apply_keystream(std::uint64_t key, const Bytes& data);
+[[nodiscard]] std::uint64_t auth_tag(std::uint64_t key, const Bytes& data) noexcept;
+
+}  // namespace splicer::crypto

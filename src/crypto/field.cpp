@@ -1,0 +1,33 @@
+#include "crypto/field.h"
+
+#include <stdexcept>
+
+namespace splicer::crypto {
+
+std::uint64_t mul_mod(std::uint64_t a, std::uint64_t b) noexcept {
+  const unsigned __int128 prod =
+      static_cast<unsigned __int128>(reduce(a)) * reduce(b);
+  // Mersenne reduction: p = 2^61 - 1, so 2^61 == 1 (mod p).
+  const auto lo = static_cast<std::uint64_t>(prod & kPrime);
+  const auto hi = static_cast<std::uint64_t>(prod >> 61);
+  return reduce(lo + reduce(hi));
+}
+
+std::uint64_t pow_mod(std::uint64_t a, std::uint64_t e) noexcept {
+  std::uint64_t base = reduce(a);
+  std::uint64_t result = 1;
+  while (e != 0) {
+    if (e & 1) result = mul_mod(result, base);
+    base = mul_mod(base, base);
+    e >>= 1;
+  }
+  return result;
+}
+
+std::uint64_t inv_mod(std::uint64_t a) {
+  const std::uint64_t r = reduce(a);
+  if (r == 0) throw std::domain_error("inv_mod: zero has no inverse");
+  return pow_mod(r, kPrime - 2);
+}
+
+}  // namespace splicer::crypto

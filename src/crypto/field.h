@@ -1,0 +1,44 @@
+#pragma once
+
+// Arithmetic in the prime field Z_p with p = 2^61 - 1 (Mersenne prime).
+//
+// SIMULATION-GRADE CRYPTO. This field backs the simulated key-management
+// group (KMG): ElGamal keypairs and Shamir shares with toy parameters that
+// exercise the paper's workflow (fresh (pk_tid, sk_tid) per transaction,
+// Enc/Dec of payment demands, threshold key retrieval) at simulation speed.
+// 61-bit groups offer no real-world security; a deployment would swap in a
+// production DKG + ECIES suite behind the same interfaces.
+
+#include <cstdint>
+
+namespace splicer::crypto {
+
+inline constexpr std::uint64_t kPrime = (1ULL << 61) - 1;
+
+/// Reduction of a 64-bit value into [0, p).
+[[nodiscard]] constexpr std::uint64_t reduce(std::uint64_t x) noexcept {
+  x = (x & kPrime) + (x >> 61);
+  return x >= kPrime ? x - kPrime : x;
+}
+
+[[nodiscard]] constexpr std::uint64_t add_mod(std::uint64_t a, std::uint64_t b) noexcept {
+  const std::uint64_t s = a + b;  // < 2^62, no overflow
+  return s >= kPrime ? s - kPrime : s;
+}
+
+[[nodiscard]] constexpr std::uint64_t sub_mod(std::uint64_t a, std::uint64_t b) noexcept {
+  return a >= b ? a - b : a + kPrime - b;
+}
+
+[[nodiscard]] std::uint64_t mul_mod(std::uint64_t a, std::uint64_t b) noexcept;
+
+/// a^e mod p by square-and-multiply.
+[[nodiscard]] std::uint64_t pow_mod(std::uint64_t a, std::uint64_t e) noexcept;
+
+/// Multiplicative inverse via Fermat (a != 0).
+[[nodiscard]] std::uint64_t inv_mod(std::uint64_t a);
+
+/// Fixed group generator used by the simulated ElGamal scheme.
+inline constexpr std::uint64_t kGenerator = 3;
+
+}  // namespace splicer::crypto

@@ -1,0 +1,55 @@
+#include "crypto/kmg.h"
+
+#include <stdexcept>
+
+namespace splicer::crypto {
+
+KeyManagementGroup::KeyManagementGroup(std::size_t member_count, common::Rng rng,
+                                       std::size_t threshold)
+    : member_count_(member_count),
+      threshold_(threshold == 0 ? member_count / 2 + 1 : threshold),
+      rng_(rng) {
+  if (member_count_ == 0) {
+    throw std::invalid_argument("KeyManagementGroup: need >= 1 member");
+  }
+  if (threshold_ > member_count_) {
+    throw std::invalid_argument("KeyManagementGroup: threshold > members");
+  }
+}
+
+std::uint64_t KeyManagementGroup::issue_key(TransactionId id) {
+  const KeyPair kp = generate_keypair(rng_);
+  KeyRecord record;
+  record.public_key = kp.public_key;
+  record.shares = split_secret(kp.secret_key, member_count_, threshold_, rng_);
+  keys_[id] = std::move(record);
+  ++issued_;
+  return kp.public_key;
+}
+
+std::optional<std::uint64_t> KeyManagementGroup::public_key(TransactionId id) const {
+  const auto it = keys_.find(id);
+  if (it == keys_.end()) return std::nullopt;
+  return it->second.public_key;
+}
+
+std::optional<Bytes> KeyManagementGroup::decrypt(TransactionId id,
+                                                 const Ciphertext& ciphertext) const {
+  const auto it = keys_.find(id);
+  if (it == keys_.end()) return std::nullopt;
+  const std::vector<Share> quorum(it->second.shares.begin(),
+                                  it->second.shares.begin() +
+                                      static_cast<std::ptrdiff_t>(threshold_));
+  const std::uint64_t secret = reconstruct_secret(quorum);
+  Bytes plaintext;
+  if (!crypto::decrypt(secret, ciphertext, plaintext)) return std::nullopt;
+  return plaintext;
+}
+
+const std::vector<Share>& KeyManagementGroup::shares(TransactionId id) const {
+  const auto it = keys_.find(id);
+  if (it == keys_.end()) throw std::out_of_range("KeyManagementGroup: unknown id");
+  return it->second.shares;
+}
+
+}  // namespace splicer::crypto

@@ -1,0 +1,34 @@
+#include "crypto/secure_channel.h"
+
+#include "crypto/field.h"
+
+namespace splicer::crypto {
+
+SecureChannel SecureChannel::establish(common::Rng& rng) {
+  // Ephemeral agreement: a chooses x, b chooses y; shared = g^(xy).
+  const std::uint64_t x = 1 + rng.next_below(kPrime - 2);
+  const std::uint64_t y = 1 + rng.next_below(kPrime - 2);
+  const std::uint64_t gx = pow_mod(kGenerator, x);
+  const std::uint64_t shared = pow_mod(gx, y);
+  return SecureChannel(shared);
+}
+
+SealedMessage SecureChannel::seal(const Bytes& plaintext) {
+  SealedMessage msg;
+  msg.sequence = ++send_sequence_;
+  msg.body = apply_keystream(key_ ^ msg.sequence, plaintext);
+  msg.tag = auth_tag(key_ ^ msg.sequence, plaintext);
+  return msg;
+}
+
+std::optional<Bytes> SecureChannel::open(const SealedMessage& message) {
+  if (message.sequence <= recv_sequence_) return std::nullopt;  // replay
+  const Bytes plaintext = apply_keystream(key_ ^ message.sequence, message.body);
+  if (auth_tag(key_ ^ message.sequence, plaintext) != message.tag) {
+    return std::nullopt;
+  }
+  recv_sequence_ = message.sequence;
+  return plaintext;
+}
+
+}  // namespace splicer::crypto

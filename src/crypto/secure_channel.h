@@ -1,0 +1,46 @@
+#pragma once
+
+// "TLS-like" authenticated channel simulation. The paper has clients
+// establish TLS sessions with their smooth node before sending payreq; in
+// the simulator a SecureChannel is a shared symmetric key with seal/open
+// (keystream + tag). Tampering is detected, which is all the protocol
+// logic observes.
+
+#include <cstdint>
+#include <optional>
+
+#include "common/rng.h"
+#include "crypto/elgamal.h"
+
+namespace splicer::crypto {
+
+struct SealedMessage {
+  Bytes body;
+  std::uint64_t tag = 0;
+  std::uint64_t sequence = 0;  // replay counter bound into the tag
+};
+
+class SecureChannel {
+ public:
+  /// Simulated handshake: both ends derive the same key from an ephemeral
+  /// ECDH-style exchange (here: ElGamal agreement).
+  static SecureChannel establish(common::Rng& rng);
+
+  /// Constructs from a known shared key (tests).
+  explicit SecureChannel(std::uint64_t shared_key) : key_(shared_key) {}
+
+  [[nodiscard]] SealedMessage seal(const Bytes& plaintext);
+
+  /// Returns the plaintext, or nullopt if the tag fails or the sequence is
+  /// a replay (not strictly increasing).
+  [[nodiscard]] std::optional<Bytes> open(const SealedMessage& message);
+
+  [[nodiscard]] std::uint64_t key() const noexcept { return key_; }
+
+ private:
+  std::uint64_t key_;
+  std::uint64_t send_sequence_ = 0;
+  std::uint64_t recv_sequence_ = 0;
+};
+
+}  // namespace splicer::crypto

@@ -1,0 +1,58 @@
+#include "crypto/shamir.h"
+
+#include <stdexcept>
+
+namespace splicer::crypto {
+
+std::vector<Share> split_secret(std::uint64_t secret, std::size_t share_count,
+                                std::size_t threshold, common::Rng& rng) {
+  if (threshold == 0 || threshold > share_count) {
+    throw std::invalid_argument("split_secret: invalid threshold");
+  }
+  if (secret >= kPrime) throw std::invalid_argument("split_secret: secret >= p");
+
+  // Random polynomial of degree threshold-1 with constant term = secret.
+  std::vector<std::uint64_t> coeffs(threshold);
+  coeffs[0] = secret;
+  for (std::size_t i = 1; i < threshold; ++i) coeffs[i] = rng.next_below(kPrime);
+
+  std::vector<Share> shares(share_count);
+  for (std::size_t s = 0; s < share_count; ++s) {
+    const std::uint64_t x = s + 1;
+    // Horner evaluation.
+    std::uint64_t y = 0;
+    for (std::size_t i = threshold; i-- > 0;) {
+      y = add_mod(mul_mod(y, x), coeffs[i]);
+    }
+    shares[s] = Share{x, y};
+  }
+  return shares;
+}
+
+std::uint64_t reconstruct_secret(const std::vector<Share>& shares) {
+  if (shares.empty()) throw std::invalid_argument("reconstruct_secret: no shares");
+  for (std::size_t i = 0; i < shares.size(); ++i) {
+    for (std::size_t j = i + 1; j < shares.size(); ++j) {
+      if (shares[i].x == shares[j].x) {
+        throw std::invalid_argument("reconstruct_secret: duplicate share point");
+      }
+    }
+  }
+  // Lagrange interpolation at x = 0:
+  //   secret = sum_i y_i * prod_{j != i} (0 - x_j) / (x_i - x_j).
+  std::uint64_t secret = 0;
+  for (std::size_t i = 0; i < shares.size(); ++i) {
+    std::uint64_t numerator = 1;
+    std::uint64_t denominator = 1;
+    for (std::size_t j = 0; j < shares.size(); ++j) {
+      if (i == j) continue;
+      numerator = mul_mod(numerator, sub_mod(0, shares[j].x));
+      denominator = mul_mod(denominator, sub_mod(shares[i].x, shares[j].x));
+    }
+    const std::uint64_t weight = mul_mod(numerator, inv_mod(denominator));
+    secret = add_mod(secret, mul_mod(shares[i].y, weight));
+  }
+  return secret;
+}
+
+}  // namespace splicer::crypto

@@ -1,0 +1,31 @@
+#pragma once
+
+// Shamir secret sharing over Z_p (p = 2^61 - 1). The KMG issues each
+// per-transaction secret key as (n, t) shares across its smooth-node
+// members; any t of them reconstruct via Lagrange interpolation at 0.
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "crypto/field.h"
+
+namespace splicer::crypto {
+
+struct Share {
+  std::uint64_t x = 0;  // evaluation point (1-based member index)
+  std::uint64_t y = 0;  // polynomial value
+};
+
+/// Splits `secret` into `share_count` shares with reconstruction threshold
+/// `threshold` (1 <= threshold <= share_count). secret must be < p.
+[[nodiscard]] std::vector<Share> split_secret(std::uint64_t secret,
+                                              std::size_t share_count,
+                                              std::size_t threshold,
+                                              common::Rng& rng);
+
+/// Reconstructs the secret from >= threshold shares (extra shares are
+/// consistent by construction; duplicates by x are invalid).
+[[nodiscard]] std::uint64_t reconstruct_secret(const std::vector<Share>& shares);
+
+}  // namespace splicer::crypto

@@ -1,0 +1,41 @@
+#pragma once
+
+// Edge-disjoint path sets (Table II path types "EDS" and "EDW") and the
+// unified path-selection entry point used by the routers.
+
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace splicer::graph {
+
+/// The four path types evaluated in Table II.
+enum class PathType {
+  kShortest,     // KSP: Yen k-shortest paths (may share edges)
+  kHeuristic,    // k fund-richest paths (may share edges)
+  kEdgeDisjointWidest,    // EDW: successive widest paths, edges removed
+  kEdgeDisjointShortest,  // EDS: successive shortest paths, edges removed
+};
+
+[[nodiscard]] const char* to_string(PathType type) noexcept;
+
+/// Up to k edge-disjoint shortest paths: repeatedly run Dijkstra and disable
+/// the edges of each found path.
+[[nodiscard]] std::vector<Path> edge_disjoint_shortest_paths(const Graph& g,
+                                                             NodeId src, NodeId dst,
+                                                             std::size_t k);
+
+/// Up to k edge-disjoint widest paths: repeatedly run widest_path and
+/// disable the edges of each found path.
+[[nodiscard]] std::vector<Path> edge_disjoint_widest_paths(const Graph& g,
+                                                           NodeId src, NodeId dst,
+                                                           std::size_t k);
+
+/// Dispatches on `type`; the routers call this.
+[[nodiscard]] std::vector<Path> select_paths(const Graph& g, NodeId src, NodeId dst,
+                                             std::size_t k, PathType type);
+
+/// True if no edge occurs in more than one path.
+[[nodiscard]] bool paths_edge_disjoint(const std::vector<Path>& paths);
+
+}  // namespace splicer::graph

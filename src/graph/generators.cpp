@@ -1,0 +1,109 @@
+#include "graph/generators.h"
+
+#include <stdexcept>
+
+#include "graph/metrics.h"
+
+namespace splicer::graph {
+
+Graph watts_strogatz(std::size_t n, std::size_t k, double beta,
+                     common::Rng& rng) {
+  if (k % 2 != 0 || k == 0) {
+    throw std::invalid_argument("watts_strogatz: k must be even and > 0");
+  }
+  if (k >= n) throw std::invalid_argument("watts_strogatz: k must be < n");
+  Graph g(n);
+  // Track existing pairs to avoid duplicate edges after rewiring.
+  const auto exists = [&](NodeId a, NodeId b) { return a == b || g.has_edge(a, b); };
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 1; j <= k / 2; ++j) {
+      const auto u = static_cast<NodeId>(i);
+      auto v = static_cast<NodeId>((i + j) % n);
+      if (rng.bernoulli(beta)) {
+        // Rewire the far endpoint uniformly; keep the lattice edge if no
+        // valid alternative is found quickly (dense corner case).
+        for (int attempt = 0; attempt < 16; ++attempt) {
+          const auto candidate = static_cast<NodeId>(rng.index(n));
+          if (!exists(u, candidate)) {
+            v = candidate;
+            break;
+          }
+        }
+      }
+      if (!exists(u, v)) g.add_edge(u, v);
+    }
+  }
+  patch_connectivity(g);
+  return g;
+}
+
+Graph preferential_attachment(std::size_t n, std::size_t m, common::Rng& rng) {
+  if (m == 0) throw std::invalid_argument("preferential_attachment: m must be > 0");
+  if (n < m + 1) {
+    throw std::invalid_argument("preferential_attachment: n must be > m");
+  }
+  Graph g(n);
+  std::vector<NodeId> pool;  // node appears once per incident edge endpoint
+  // Seed clique over the first m+1 nodes.
+  for (std::size_t i = 0; i <= m; ++i) {
+    for (std::size_t j = i + 1; j <= m; ++j) {
+      g.add_edge(static_cast<NodeId>(i), static_cast<NodeId>(j));
+      pool.push_back(static_cast<NodeId>(i));
+      pool.push_back(static_cast<NodeId>(j));
+    }
+  }
+  for (std::size_t i = m + 1; i < n; ++i) {
+    const auto u = static_cast<NodeId>(i);
+    std::vector<NodeId> chosen;
+    int guard = 0;
+    while (chosen.size() < m && guard++ < 1000) {
+      const NodeId v = pool[rng.index(pool.size())];
+      if (v == u) continue;
+      bool dup = false;
+      for (const NodeId c : chosen) dup = dup || (c == v);
+      if (!dup) chosen.push_back(v);
+    }
+    for (const NodeId v : chosen) {
+      g.add_edge(u, v);
+      pool.push_back(u);
+      pool.push_back(v);
+    }
+  }
+  return g;
+}
+
+Graph star(std::size_t n) {
+  if (n < 2) throw std::invalid_argument("star: need >= 2 nodes");
+  Graph g(n);
+  for (std::size_t i = 1; i < n; ++i) g.add_edge(0, static_cast<NodeId>(i));
+  return g;
+}
+
+Graph multi_star(std::size_t hubs, std::size_t clients) {
+  if (hubs == 0) throw std::invalid_argument("multi_star: need >= 1 hub");
+  Graph g(hubs + clients);
+  for (std::size_t i = 0; i < hubs; ++i) {
+    for (std::size_t j = i + 1; j < hubs; ++j) {
+      g.add_edge(static_cast<NodeId>(i), static_cast<NodeId>(j));
+    }
+  }
+  for (std::size_t c = 0; c < clients; ++c) {
+    g.add_edge(static_cast<NodeId>(hubs + c), static_cast<NodeId>(c % hubs));
+  }
+  return g;
+}
+
+std::size_t patch_connectivity(Graph& g) {
+  const auto components = connected_components(g);
+  if (components.empty()) return 0;
+  std::size_t added = 0;
+  // components[i] holds the representative (smallest node) of component i;
+  // wire every non-first representative to node 0.
+  for (std::size_t i = 1; i < components.size(); ++i) {
+    g.add_edge(0, components[i]);
+    ++added;
+  }
+  return added;
+}
+
+}  // namespace splicer::graph

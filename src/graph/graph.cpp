@@ -1,0 +1,71 @@
+#include "graph/graph.h"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+
+namespace splicer::graph {
+
+Graph::Graph(std::size_t node_count) : adjacency_(node_count) {}
+
+EdgeId Graph::add_edge(NodeId u, NodeId v, double weight, double capacity) {
+  if (u >= node_count() || v >= node_count()) {
+    throw std::out_of_range("Graph::add_edge: node out of range");
+  }
+  if (u == v) throw std::invalid_argument("Graph::add_edge: self-loop");
+  const auto id = static_cast<EdgeId>(edges_.size());
+  edges_.push_back(Edge{u, v, weight, capacity});
+  adjacency_[u].push_back(HalfEdge{v, id});
+  adjacency_[v].push_back(HalfEdge{u, id});
+  return id;
+}
+
+NodeId Graph::other_end(EdgeId e, NodeId from) const {
+  const Edge& rec = edges_.at(e);
+  if (rec.u == from) return rec.v;
+  if (rec.v == from) return rec.u;
+  throw std::invalid_argument("Graph::other_end: node not on edge");
+}
+
+EdgeId Graph::find_edge(NodeId u, NodeId v) const {
+  const auto& smaller =
+      adjacency_.at(u).size() <= adjacency_.at(v).size() ? adjacency_[u] : adjacency_[v];
+  const NodeId want = (&smaller == &adjacency_[u]) ? v : u;
+  for (const auto& half : smaller) {
+    if (half.to == want) return half.edge;
+  }
+  return kInvalidEdge;
+}
+
+double Path::bottleneck(const Graph& g) const {
+  double result = std::numeric_limits<double>::infinity();
+  for (const EdgeId e : edges) result = std::min(result, g.edge(e).capacity);
+  return result;
+}
+
+std::string Path::to_string() const {
+  std::ostringstream out;
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    if (i) out << " -> ";
+    out << nodes[i];
+  }
+  return out.str();
+}
+
+bool is_valid_path(const Graph& g, const Path& p) {
+  if (p.nodes.empty()) return false;
+  if (p.nodes.size() != p.edges.size() + 1) return false;
+  for (std::size_t i = 0; i < p.edges.size(); ++i) {
+    if (p.edges[i] >= g.edge_count()) return false;
+    const auto& e = g.edge(p.edges[i]);
+    const NodeId a = p.nodes[i];
+    const NodeId b = p.nodes[i + 1];
+    if (!((e.u == a && e.v == b) || (e.u == b && e.v == a))) return false;
+  }
+  // Simple path: no repeated nodes.
+  std::vector<NodeId> sorted = p.nodes;
+  std::sort(sorted.begin(), sorted.end());
+  return std::adjacent_find(sorted.begin(), sorted.end()) == sorted.end();
+}
+
+}  // namespace splicer::graph

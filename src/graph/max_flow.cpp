@@ -1,0 +1,86 @@
+#include "graph/max_flow.h"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+
+namespace splicer::graph {
+
+namespace {
+constexpr double kEps = 1e-9;
+}
+
+MaxFlowResult max_flow(const Graph& g, NodeId src, NodeId dst,
+                       const MaxFlowOptions& options) {
+  MaxFlowResult result;
+  if (src == dst) return result;
+
+  // Residual capacities per arc: arc 2e = u->v of edge e, arc 2e+1 = v->u.
+  std::vector<double> residual(2 * g.edge_count());
+  for (EdgeId e = 0; e < g.edge_count(); ++e) {
+    const double fwd =
+        options.forward_capacity ? (*options.forward_capacity)[e] : g.edge(e).capacity;
+    const double bwd =
+        options.backward_capacity ? (*options.backward_capacity)[e] : g.edge(e).capacity;
+    residual[2 * e] = fwd;
+    residual[2 * e + 1] = bwd;
+  }
+
+  const auto arc_of = [&](EdgeId e, NodeId from) -> std::size_t {
+    return g.edge(e).u == from ? 2 * e : 2 * e + 1;
+  };
+
+  std::vector<NodeId> parent(g.node_count());
+  std::vector<EdgeId> parent_edge(g.node_count());
+
+  while (true) {
+    if (options.flow_limit >= 0.0 && result.total_flow >= options.flow_limit - kEps) break;
+    if (options.max_paths != 0 && result.paths.size() >= options.max_paths) break;
+
+    // BFS for an augmenting path in the residual graph.
+    std::fill(parent.begin(), parent.end(), kInvalidNode);
+    parent[src] = src;
+    std::queue<NodeId> frontier;
+    frontier.push(src);
+    while (!frontier.empty() && parent[dst] == kInvalidNode) {
+      const NodeId u = frontier.front();
+      frontier.pop();
+      for (const auto& half : g.neighbors(u)) {
+        if (parent[half.to] != kInvalidNode) continue;
+        if (residual[arc_of(half.edge, u)] <= kEps) continue;
+        parent[half.to] = u;
+        parent_edge[half.to] = half.edge;
+        frontier.push(half.to);
+      }
+    }
+    if (parent[dst] == kInvalidNode) break;  // no augmenting path
+
+    // Bottleneck along the found path.
+    double bottleneck = std::numeric_limits<double>::infinity();
+    for (NodeId v = dst; v != src; v = parent[v]) {
+      bottleneck = std::min(bottleneck, residual[arc_of(parent_edge[v], parent[v])]);
+    }
+    if (options.flow_limit >= 0.0) {
+      bottleneck = std::min(bottleneck, options.flow_limit - result.total_flow);
+    }
+
+    FlowPath fp;
+    fp.flow = bottleneck;
+    for (NodeId v = dst; v != src; v = parent[v]) {
+      residual[arc_of(parent_edge[v], parent[v])] -= bottleneck;
+      residual[arc_of(parent_edge[v], v)] += bottleneck;
+      fp.path.nodes.push_back(v);
+      fp.path.edges.push_back(parent_edge[v]);
+    }
+    fp.path.nodes.push_back(src);
+    std::reverse(fp.path.nodes.begin(), fp.path.nodes.end());
+    std::reverse(fp.path.edges.begin(), fp.path.edges.end());
+    fp.path.length = static_cast<double>(fp.path.edges.size());
+
+    result.total_flow += bottleneck;
+    result.paths.push_back(std::move(fp));
+  }
+  return result;
+}
+
+}  // namespace splicer::graph

@@ -1,0 +1,43 @@
+#pragma once
+
+// Edmonds-Karp max-flow with flow-path decomposition. Flash (CoNEXT '19)
+// routes "elephant" payments along max-flow paths probed from current
+// channel balances; this module is that substrate.
+
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace splicer::graph {
+
+/// One decomposed flow path with the amount it carries.
+struct FlowPath {
+  Path path;
+  double flow = 0.0;
+};
+
+struct MaxFlowResult {
+  double total_flow = 0.0;
+  std::vector<FlowPath> paths;  // BFS augmenting paths in discovery order
+};
+
+/// Max flow from src to dst. Undirected edges are modelled as a pair of
+/// anti-parallel arcs whose capacities can differ via `forward_capacity` /
+/// `backward_capacity` overrides (PCN channels have per-direction balances;
+/// "forward" means u->v of the stored edge). With no overrides both
+/// directions use edge.capacity.
+///
+/// `flow_limit` stops early once that much flow is found (Flash does not
+/// need the full max flow, just enough for the payment); `max_paths` bounds
+/// the number of augmenting paths.
+struct MaxFlowOptions {
+  const std::vector<double>* forward_capacity = nullptr;
+  const std::vector<double>* backward_capacity = nullptr;
+  double flow_limit = -1.0;      // < 0 = unlimited
+  std::size_t max_paths = 0;     // 0 = unlimited
+};
+
+[[nodiscard]] MaxFlowResult max_flow(const Graph& g, NodeId src, NodeId dst,
+                                     const MaxFlowOptions& options = {});
+
+}  // namespace splicer::graph

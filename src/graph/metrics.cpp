@@ -1,0 +1,108 @@
+#include "graph/metrics.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "graph/shortest_path.h"
+
+namespace splicer::graph {
+
+std::vector<NodeId> connected_components(const Graph& g) {
+  std::vector<NodeId> reps;
+  std::vector<char> visited(g.node_count(), 0);
+  std::vector<NodeId> stack;
+  for (NodeId start = 0; start < g.node_count(); ++start) {
+    if (visited[start]) continue;
+    reps.push_back(start);
+    visited[start] = 1;
+    stack.push_back(start);
+    while (!stack.empty()) {
+      const NodeId u = stack.back();
+      stack.pop_back();
+      for (const auto& half : g.neighbors(u)) {
+        if (!visited[half.to]) {
+          visited[half.to] = 1;
+          stack.push_back(half.to);
+        }
+      }
+    }
+  }
+  return reps;
+}
+
+bool is_connected(const Graph& g) {
+  return g.node_count() <= 1 || connected_components(g).size() == 1;
+}
+
+double average_clustering(const Graph& g) {
+  if (g.node_count() == 0) return 0.0;
+  double total = 0.0;
+  for (NodeId u = 0; u < g.node_count(); ++u) {
+    const auto& nbrs = g.neighbors(u);
+    if (nbrs.size() < 2) continue;
+    std::size_t closed = 0;
+    for (std::size_t i = 0; i < nbrs.size(); ++i) {
+      for (std::size_t j = i + 1; j < nbrs.size(); ++j) {
+        if (g.has_edge(nbrs[i].to, nbrs[j].to)) ++closed;
+      }
+    }
+    const double possible =
+        static_cast<double>(nbrs.size()) * static_cast<double>(nbrs.size() - 1) / 2.0;
+    total += static_cast<double>(closed) / possible;
+  }
+  return total / static_cast<double>(g.node_count());
+}
+
+HopMatrix::HopMatrix(const Graph& g) : n_(g.node_count()) {
+  data_.assign(n_ * n_, kUnreachableHops);
+  for (NodeId src = 0; src < n_; ++src) {
+    const auto hops = bfs_hops(g, src);
+    for (NodeId dst = 0; dst < n_; ++dst) {
+      if (hops[dst] >= 0) {
+        data_[static_cast<std::size_t>(src) * n_ + dst] =
+            static_cast<std::uint16_t>(hops[dst]);
+      }
+    }
+  }
+}
+
+double HopMatrix::mean_hops() const {
+  double sum = 0.0;
+  std::size_t count = 0;
+  for (std::size_t a = 0; a < n_; ++a) {
+    for (std::size_t b = a + 1; b < n_; ++b) {
+      const auto h = data_[a * n_ + b];
+      if (h != kUnreachableHops) {
+        sum += h;
+        ++count;
+      }
+    }
+  }
+  return count ? sum / static_cast<double>(count) : 0.0;
+}
+
+DegreeStats degree_stats(const Graph& g) {
+  DegreeStats stats;
+  if (g.node_count() == 0) return stats;
+  stats.min = g.degree(0);
+  for (NodeId u = 0; u < g.node_count(); ++u) {
+    const std::size_t d = g.degree(u);
+    stats.mean += static_cast<double>(d);
+    stats.min = std::min(stats.min, d);
+    stats.max = std::max(stats.max, d);
+  }
+  stats.mean /= static_cast<double>(g.node_count());
+  return stats;
+}
+
+std::vector<NodeId> nodes_by_degree(const Graph& g) {
+  std::vector<NodeId> nodes(g.node_count());
+  std::iota(nodes.begin(), nodes.end(), 0);
+  std::stable_sort(nodes.begin(), nodes.end(), [&](NodeId a, NodeId b) {
+    if (g.degree(a) != g.degree(b)) return g.degree(a) > g.degree(b);
+    return a < b;
+  });
+  return nodes;
+}
+
+}  // namespace splicer::graph

@@ -1,0 +1,121 @@
+#include "graph/shortest_path.h"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+#include <stdexcept>
+
+namespace splicer::graph {
+
+namespace {
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+[[nodiscard]] double effective_weight(const Graph& g, EdgeId e,
+                                      const DijkstraOptions& options) {
+  const double w = options.weights ? (*options.weights)[e] : g.edge(e).weight;
+  if (w < 0) throw std::invalid_argument("dijkstra: negative edge weight");
+  return w;
+}
+}  // namespace
+
+std::vector<int> bfs_hops(const Graph& g, NodeId src) {
+  std::vector<int> hops(g.node_count(), -1);
+  std::queue<NodeId> frontier;
+  hops.at(src) = 0;
+  frontier.push(src);
+  while (!frontier.empty()) {
+    const NodeId u = frontier.front();
+    frontier.pop();
+    for (const auto& half : g.neighbors(u)) {
+      if (hops[half.to] == -1) {
+        hops[half.to] = hops[u] + 1;
+        frontier.push(half.to);
+      }
+    }
+  }
+  return hops;
+}
+
+DijkstraResult dijkstra(const Graph& g, NodeId src, const DijkstraOptions& options) {
+  DijkstraResult result;
+  result.dist.assign(g.node_count(), kInf);
+  result.parent.assign(g.node_count(), kInvalidNode);
+  result.parent_edge.assign(g.node_count(), kInvalidEdge);
+
+  using Item = std::pair<double, NodeId>;  // (dist, node)
+  std::priority_queue<Item, std::vector<Item>, std::greater<>> heap;
+  result.dist.at(src) = 0.0;
+  heap.emplace(0.0, src);
+
+  while (!heap.empty()) {
+    const auto [d, u] = heap.top();
+    heap.pop();
+    if (d > result.dist[u]) continue;  // stale entry
+    for (const auto& half : g.neighbors(u)) {
+      if (options.disabled_edges && (*options.disabled_edges)[half.edge]) continue;
+      if (options.disabled_nodes && (*options.disabled_nodes)[half.to]) continue;
+      const double nd = d + effective_weight(g, half.edge, options);
+      if (nd < result.dist[half.to]) {
+        result.dist[half.to] = nd;
+        result.parent[half.to] = u;
+        result.parent_edge[half.to] = half.edge;
+        heap.emplace(nd, half.to);
+      }
+    }
+  }
+  return result;
+}
+
+std::optional<Path> extract_path(const Graph& g, const DijkstraResult& result,
+                                 NodeId src, NodeId dst) {
+  if (result.dist.at(dst) == kInf) return std::nullopt;
+  Path path;
+  NodeId cur = dst;
+  while (cur != src) {
+    path.nodes.push_back(cur);
+    const EdgeId e = result.parent_edge[cur];
+    path.edges.push_back(e);
+    cur = result.parent[cur];
+    if (path.nodes.size() > g.node_count()) {
+      throw std::logic_error("extract_path: parent cycle");
+    }
+  }
+  path.nodes.push_back(src);
+  std::reverse(path.nodes.begin(), path.nodes.end());
+  std::reverse(path.edges.begin(), path.edges.end());
+  path.length = result.dist[dst];
+  return path;
+}
+
+std::optional<Path> shortest_path(const Graph& g, NodeId src, NodeId dst,
+                                  const DijkstraOptions& options) {
+  if (src == dst) {
+    Path trivial;
+    trivial.nodes.push_back(src);
+    return trivial;
+  }
+  return extract_path(g, dijkstra(g, src, options), src, dst);
+}
+
+std::vector<double> bellman_ford(const Graph& g, NodeId src) {
+  std::vector<double> dist(g.node_count(), kInf);
+  dist.at(src) = 0.0;
+  for (std::size_t round = 0; round + 1 < g.node_count(); ++round) {
+    bool changed = false;
+    for (EdgeId e = 0; e < g.edge_count(); ++e) {
+      const auto& rec = g.edge(e);
+      if (dist[rec.u] + rec.weight < dist[rec.v]) {
+        dist[rec.v] = dist[rec.u] + rec.weight;
+        changed = true;
+      }
+      if (dist[rec.v] + rec.weight < dist[rec.u]) {
+        dist[rec.u] = dist[rec.v] + rec.weight;
+        changed = true;
+      }
+    }
+    if (!changed) break;
+  }
+  return dist;
+}
+
+}  // namespace splicer::graph

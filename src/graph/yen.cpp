@@ -1,0 +1,100 @@
+#include "graph/yen.h"
+
+#include <algorithm>
+#include <set>
+
+namespace splicer::graph {
+
+namespace {
+
+/// Total order for the candidate set: by length, then lexicographic nodes
+/// (deterministic across platforms).
+struct PathLess {
+  bool operator()(const Path& a, const Path& b) const {
+    if (a.length != b.length) return a.length < b.length;
+    return a.nodes < b.nodes;
+  }
+};
+
+}  // namespace
+
+std::vector<Path> yen_ksp(const Graph& g, NodeId src, NodeId dst, std::size_t k,
+                          const std::vector<double>* weights) {
+  std::vector<Path> result;
+  if (k == 0 || src == dst) return result;
+
+  DijkstraOptions base_options;
+  base_options.weights = weights;
+  auto first = shortest_path(g, src, dst, base_options);
+  if (!first) return result;
+  result.push_back(std::move(*first));
+
+  std::set<Path, PathLess> candidates;
+  std::vector<char> edge_mask(g.edge_count(), 0);
+  std::vector<char> node_mask(g.node_count(), 0);
+
+  while (result.size() < k) {
+    const Path& prev = result.back();
+    // Spur from every node of the previous path except the last.
+    for (std::size_t i = 0; i + 1 < prev.nodes.size(); ++i) {
+      const NodeId spur_node = prev.nodes[i];
+
+      std::fill(edge_mask.begin(), edge_mask.end(), 0);
+      std::fill(node_mask.begin(), node_mask.end(), 0);
+
+      // Remove edges that would recreate an already-found path sharing the
+      // same root prefix.
+      for (const Path& found : result) {
+        if (found.nodes.size() > i &&
+            std::equal(prev.nodes.begin(), prev.nodes.begin() + static_cast<std::ptrdiff_t>(i) + 1,
+                       found.nodes.begin())) {
+          if (i < found.edges.size()) edge_mask[found.edges[i]] = 1;
+        }
+      }
+      // Remove root-path nodes (except the spur node) to keep paths simple.
+      for (std::size_t j = 0; j < i; ++j) node_mask[prev.nodes[j]] = 1;
+
+      DijkstraOptions options;
+      options.weights = weights;
+      options.disabled_edges = &edge_mask;
+      options.disabled_nodes = &node_mask;
+      auto spur = shortest_path(g, spur_node, dst, options);
+      if (!spur) continue;
+
+      // total = root prefix + spur.
+      Path total;
+      total.nodes.assign(prev.nodes.begin(), prev.nodes.begin() + static_cast<std::ptrdiff_t>(i));
+      total.edges.assign(prev.edges.begin(), prev.edges.begin() + static_cast<std::ptrdiff_t>(i));
+      total.nodes.insert(total.nodes.end(), spur->nodes.begin(), spur->nodes.end());
+      total.edges.insert(total.edges.end(), spur->edges.begin(), spur->edges.end());
+      total.length = 0.0;
+      for (const EdgeId e : total.edges) {
+        total.length += weights ? (*weights)[e] : g.edge(e).weight;
+      }
+      if (std::find(result.begin(), result.end(), total) == result.end()) {
+        candidates.insert(std::move(total));
+      }
+    }
+    if (candidates.empty()) break;
+    result.push_back(*candidates.begin());
+    candidates.erase(candidates.begin());
+  }
+  return result;
+}
+
+std::vector<Path> highest_fund_paths(const Graph& g, NodeId src, NodeId dst,
+                                     std::size_t k) {
+  std::vector<double> inverse_fund(g.edge_count());
+  for (EdgeId e = 0; e < g.edge_count(); ++e) {
+    inverse_fund[e] = 1.0 / (g.edge(e).capacity + 1.0);
+  }
+  auto paths = yen_ksp(g, src, dst, k, &inverse_fund);
+  // Report true hop length, not the synthetic weight.
+  for (auto& p : paths) {
+    p.length = 0.0;
+    for (const EdgeId e : p.edges) p.length += g.edge(e).weight;
+  }
+  return paths;
+}
+
+}  // namespace splicer::graph

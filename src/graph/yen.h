@@ -1,0 +1,27 @@
+#pragma once
+
+// Yen's k-shortest loopless paths. This is the "KSP" path type of the
+// paper's Table II and the path generator behind the "Heuristic"
+// (fund-richest) type, which runs Yen under a 1/(capacity+1) edge weight.
+
+#include <vector>
+
+#include "graph/graph.h"
+#include "graph/shortest_path.h"
+
+namespace splicer::graph {
+
+/// Up to k loopless shortest paths in non-decreasing length order. Fewer
+/// than k are returned when the graph does not contain k distinct simple
+/// paths. `weights` optionally overrides edge weights (non-negative).
+[[nodiscard]] std::vector<Path> yen_ksp(const Graph& g, NodeId src, NodeId dst,
+                                        std::size_t k,
+                                        const std::vector<double>* weights = nullptr);
+
+/// Table II "Heuristic": k feasible paths with the highest channel funds;
+/// implemented as Yen under weight 1/(capacity+1) so fund-rich channels are
+/// preferred. Paths may share edges.
+[[nodiscard]] std::vector<Path> highest_fund_paths(const Graph& g, NodeId src,
+                                                   NodeId dst, std::size_t k);
+
+}  // namespace splicer::graph

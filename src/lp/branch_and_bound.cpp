@@ -1,0 +1,154 @@
+#include "lp/branch_and_bound.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <queue>
+
+namespace splicer::lp {
+
+namespace {
+
+struct Node {
+  std::vector<double> lower;
+  std::vector<double> upper;
+  double bound;  // LP relaxation objective (minimization form)
+
+  bool operator<(const Node& other) const {
+    // priority_queue is a max-heap; we want the smallest bound on top.
+    return bound > other.bound;
+  }
+};
+
+/// Index of the most fractional integer variable within the highest branch
+/// priority class that has any fractional variable; -1 if all integral.
+int most_fractional(const Model& model, const std::vector<double>& values,
+                    double tolerance) {
+  int best = -1;
+  int best_priority = 0;
+  double best_score = -1.0;
+  for (std::size_t j = 0; j < model.variable_count(); ++j) {
+    const auto& var = model.variable(static_cast<int>(j));
+    if (var.kind == VarKind::kContinuous) continue;
+    const double v = values[j];
+    const double frac = std::abs(v - std::round(v));
+    if (frac <= tolerance) continue;
+    // Most fractional = frac closest to 0.5.
+    const double score = 0.5 - std::abs(frac - 0.5);
+    if (best == -1 || var.branch_priority > best_priority ||
+        (var.branch_priority == best_priority && score > best_score)) {
+      best = static_cast<int>(j);
+      best_priority = var.branch_priority;
+      best_score = score;
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+Solution BranchAndBoundSolver::solve(const Model& model) const {
+  stats_ = BranchAndBoundStats{};
+  const SimplexSolver simplex(options_.simplex);
+  const double sign = model.sense() == Sense::kMinimize ? 1.0 : -1.0;
+
+  std::vector<double> root_lower(model.variable_count());
+  std::vector<double> root_upper(model.variable_count());
+  for (std::size_t j = 0; j < model.variable_count(); ++j) {
+    root_lower[j] = model.variable(static_cast<int>(j)).lower;
+    root_upper[j] = model.variable(static_cast<int>(j)).upper;
+  }
+
+  Solution incumbent;
+  incumbent.status = SolveStatus::kInfeasible;
+  double incumbent_cost = std::numeric_limits<double>::infinity();
+  if (warm_start_ && model.is_feasible(*warm_start_)) {
+    incumbent.status = SolveStatus::kOptimal;
+    incumbent.values = *warm_start_;
+    incumbent.objective = model.evaluate_objective(*warm_start_);
+    incumbent_cost = sign * incumbent.objective;
+    ++stats_.incumbent_updates;
+  }
+
+  const Solution root = simplex.solve_with_bounds(model, root_lower, root_upper);
+  if (root.status == SolveStatus::kUnbounded) return root;
+  if (root.status == SolveStatus::kIterationLimit) return root;
+  if (root.status == SolveStatus::kInfeasible) {
+    return incumbent.status == SolveStatus::kOptimal ? incumbent : root;
+  }
+
+  std::priority_queue<Node> open;
+  open.push(Node{std::move(root_lower), std::move(root_upper),
+                 sign * root.objective});
+  bool node_limit_hit = false;
+
+  while (!open.empty()) {
+    if (stats_.nodes_explored >= options_.max_nodes) {
+      node_limit_hit = true;
+      break;
+    }
+    Node node = open.top();
+    open.pop();
+    if (node.bound >= incumbent_cost - options_.objective_tolerance) {
+      ++stats_.nodes_pruned_bound;
+      continue;  // best-first: every remaining node is also pruned, but
+                 // popping them individually keeps the stats honest
+    }
+    ++stats_.nodes_explored;
+
+    const Solution relaxed = simplex.solve_with_bounds(model, node.lower, node.upper);
+    if (relaxed.status == SolveStatus::kInfeasible) {
+      ++stats_.nodes_infeasible;
+      continue;
+    }
+    if (relaxed.status == SolveStatus::kIterationLimit) {
+      // Treat as unprunable failure; give up globally to stay sound.
+      Solution s;
+      s.status = SolveStatus::kIterationLimit;
+      return s;
+    }
+    const double node_cost = sign * relaxed.objective;
+    if (node_cost >= incumbent_cost - options_.objective_tolerance) {
+      ++stats_.nodes_pruned_bound;
+      continue;
+    }
+
+    const int branch_var =
+        most_fractional(model, relaxed.values, options_.integrality_tolerance);
+    if (branch_var < 0) {
+      // Integral solution better than the incumbent.
+      incumbent.status = SolveStatus::kOptimal;
+      incumbent.values = relaxed.values;
+      // Snap integer values exactly.
+      for (std::size_t j = 0; j < model.variable_count(); ++j) {
+        if (model.variable(static_cast<int>(j)).kind != VarKind::kContinuous) {
+          incumbent.values[j] = std::round(incumbent.values[j]);
+        }
+      }
+      incumbent.objective = model.evaluate_objective(incumbent.values);
+      incumbent_cost = sign * incumbent.objective;
+      ++stats_.incumbent_updates;
+      continue;
+    }
+
+    const double v = relaxed.values[static_cast<std::size_t>(branch_var)];
+    Node down = node;
+    down.upper[static_cast<std::size_t>(branch_var)] = std::floor(v);
+    down.bound = node_cost;
+    Node up = std::move(node);
+    up.lower[static_cast<std::size_t>(branch_var)] = std::ceil(v);
+    up.bound = node_cost;
+    open.push(std::move(down));
+    open.push(std::move(up));
+  }
+
+  if (incumbent.status == SolveStatus::kOptimal) {
+    if (node_limit_hit) incumbent.status = SolveStatus::kNodeLimit;
+    return incumbent;
+  }
+  Solution s;
+  s.status = node_limit_hit ? SolveStatus::kNodeLimit : SolveStatus::kInfeasible;
+  return s;
+}
+
+}  // namespace splicer::lp

@@ -1,0 +1,112 @@
+#include "lp/model.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace splicer::lp {
+
+namespace {
+/// Sorts by variable and merges duplicate terms.
+LinearExpr normalize(LinearExpr expr) {
+  std::sort(expr.begin(), expr.end(),
+            [](const Term& a, const Term& b) { return a.var < b.var; });
+  LinearExpr out;
+  for (const Term& t : expr) {
+    if (!out.empty() && out.back().var == t.var) {
+      out.back().coeff += t.coeff;
+    } else {
+      out.push_back(t);
+    }
+  }
+  return out;
+}
+}  // namespace
+
+int Model::add_variable(std::string name, double lower, double upper, VarKind kind,
+                        int branch_priority) {
+  if (!std::isfinite(lower)) {
+    throw std::invalid_argument("Model: lower bound must be finite");
+  }
+  if (upper < lower) throw std::invalid_argument("Model: upper < lower");
+  if (kind == VarKind::kBinary && (lower < 0.0 || upper > 1.0)) {
+    throw std::invalid_argument("Model: binary bounds must be within [0,1]");
+  }
+  vars_.push_back(Variable{std::move(name), lower, upper, kind, branch_priority});
+  return static_cast<int>(vars_.size()) - 1;
+}
+
+int Model::add_constraint(LinearExpr expr, Relation relation, double rhs) {
+  for (const Term& t : expr) {
+    if (t.var < 0 || static_cast<std::size_t>(t.var) >= vars_.size()) {
+      throw std::out_of_range("Model: constraint references unknown variable");
+    }
+  }
+  rows_.push_back(Constraint{normalize(std::move(expr)), relation, rhs});
+  return static_cast<int>(rows_.size()) - 1;
+}
+
+void Model::set_objective(LinearExpr expr, Sense sense) {
+  for (const Term& t : expr) {
+    if (t.var < 0 || static_cast<std::size_t>(t.var) >= vars_.size()) {
+      throw std::out_of_range("Model: objective references unknown variable");
+    }
+  }
+  objective_ = normalize(std::move(expr));
+  sense_ = sense;
+}
+
+bool Model::has_integer_variables() const noexcept {
+  return std::any_of(vars_.begin(), vars_.end(), [](const Variable& v) {
+    return v.kind != VarKind::kContinuous;
+  });
+}
+
+double Model::evaluate_objective(const std::vector<double>& values) const {
+  double total = 0.0;
+  for (const Term& t : objective_) {
+    total += t.coeff * values.at(static_cast<std::size_t>(t.var));
+  }
+  return total;
+}
+
+bool Model::is_feasible(const std::vector<double>& values, double tolerance) const {
+  if (values.size() != vars_.size()) return false;
+  for (std::size_t i = 0; i < vars_.size(); ++i) {
+    const auto& v = vars_[i];
+    if (values[i] < v.lower - tolerance || values[i] > v.upper + tolerance) return false;
+    if (v.kind != VarKind::kContinuous &&
+        std::abs(values[i] - std::round(values[i])) > tolerance) {
+      return false;
+    }
+  }
+  for (const auto& row : rows_) {
+    double lhs = 0.0;
+    for (const Term& t : row.expr) lhs += t.coeff * values[static_cast<std::size_t>(t.var)];
+    switch (row.relation) {
+      case Relation::kLessEqual:
+        if (lhs > row.rhs + tolerance) return false;
+        break;
+      case Relation::kEqual:
+        if (std::abs(lhs - row.rhs) > tolerance) return false;
+        break;
+      case Relation::kGreaterEqual:
+        if (lhs < row.rhs - tolerance) return false;
+        break;
+    }
+  }
+  return true;
+}
+
+const char* to_string(SolveStatus status) noexcept {
+  switch (status) {
+    case SolveStatus::kOptimal: return "optimal";
+    case SolveStatus::kInfeasible: return "infeasible";
+    case SolveStatus::kUnbounded: return "unbounded";
+    case SolveStatus::kIterationLimit: return "iteration-limit";
+    case SolveStatus::kNodeLimit: return "node-limit";
+  }
+  return "?";
+}
+
+}  // namespace splicer::lp

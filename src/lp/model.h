@@ -1,0 +1,105 @@
+#pragma once
+
+// Linear/mixed-integer model builder. The paper's small-scale placement
+// solution converts the NP-hard hub-placement objective into a MILP
+// (eqs. 6-10) and hands it to a commercial solver; src/lp is the in-tree
+// substitute: this model API + two-phase simplex + branch & bound.
+
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace splicer::lp {
+
+enum class Relation { kLessEqual, kEqual, kGreaterEqual };
+enum class VarKind { kContinuous, kBinary, kInteger };
+enum class Sense { kMinimize, kMaximize };
+
+inline constexpr double kInfinity = std::numeric_limits<double>::infinity();
+
+/// One linear term: coeff * var.
+struct Term {
+  int var;
+  double coeff;
+};
+
+using LinearExpr = std::vector<Term>;
+
+class Model {
+ public:
+  /// Adds a variable; returns its index. Binary implies bounds [0,1].
+  /// Lower bounds must be finite; upper bounds may be +infinity.
+  /// `branch_priority`: branch & bound branches on fractional variables of
+  /// the highest priority class first (placement branches hub selectors x
+  /// before assignment variables y, which collapses the tree).
+  int add_variable(std::string name, double lower, double upper,
+                   VarKind kind = VarKind::kContinuous, int branch_priority = 0);
+
+  int add_binary(std::string name, int branch_priority = 0) {
+    return add_variable(std::move(name), 0.0, 1.0, VarKind::kBinary,
+                        branch_priority);
+  }
+
+  /// Adds `expr (relation) rhs`; returns the constraint index. Duplicate
+  /// variable terms in `expr` are summed.
+  int add_constraint(LinearExpr expr, Relation relation, double rhs);
+
+  void set_objective(LinearExpr expr, Sense sense = Sense::kMinimize);
+
+  [[nodiscard]] std::size_t variable_count() const noexcept { return vars_.size(); }
+  [[nodiscard]] std::size_t constraint_count() const noexcept { return rows_.size(); }
+
+  struct Variable {
+    std::string name;
+    double lower;
+    double upper;
+    VarKind kind;
+    int branch_priority;
+  };
+  struct Constraint {
+    LinearExpr expr;  // normalized: sorted by var, no duplicates
+    Relation relation;
+    double rhs;
+  };
+
+  [[nodiscard]] const Variable& variable(int i) const { return vars_.at(static_cast<std::size_t>(i)); }
+  [[nodiscard]] const Constraint& constraint(int i) const { return rows_.at(static_cast<std::size_t>(i)); }
+  [[nodiscard]] const LinearExpr& objective() const noexcept { return objective_; }
+  [[nodiscard]] Sense sense() const noexcept { return sense_; }
+
+  [[nodiscard]] bool has_integer_variables() const noexcept;
+
+  /// Objective value of a concrete assignment (no feasibility check).
+  [[nodiscard]] double evaluate_objective(const std::vector<double>& values) const;
+
+  /// Whether `values` satisfies all constraints, bounds and integrality
+  /// within `tolerance`; used by tests.
+  [[nodiscard]] bool is_feasible(const std::vector<double>& values,
+                                 double tolerance = 1e-6) const;
+
+ private:
+  std::vector<Variable> vars_;
+  std::vector<Constraint> rows_;
+  LinearExpr objective_;
+  Sense sense_ = Sense::kMinimize;
+};
+
+enum class SolveStatus {
+  kOptimal,
+  kInfeasible,
+  kUnbounded,
+  kIterationLimit,  // simplex gave up; solution invalid
+  kNodeLimit,       // B&B gave up; best incumbent returned if any
+};
+
+[[nodiscard]] const char* to_string(SolveStatus status) noexcept;
+
+struct Solution {
+  SolveStatus status = SolveStatus::kInfeasible;
+  double objective = 0.0;
+  std::vector<double> values;
+
+  [[nodiscard]] bool ok() const noexcept { return status == SolveStatus::kOptimal; }
+};
+
+}  // namespace splicer::lp

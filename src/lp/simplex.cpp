@@ -1,0 +1,310 @@
+#include "lp/simplex.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace splicer::lp {
+
+namespace {
+
+/// Dense tableau state for one solve.
+class Tableau {
+ public:
+  Tableau(const Model& model, const std::vector<double>& lower,
+          const std::vector<double>& upper, const SimplexOptions& options)
+      : model_(model), lower_(lower), upper_(upper), options_(options) {}
+
+  Solution run() {
+    validate_bounds();
+    if (!shift_bounds_ok_) return fail(SolveStatus::kInfeasible);
+    build();
+    if (!phase1()) return fail(SolveStatus::kInfeasible);
+    if (iterations_exhausted_) return fail(SolveStatus::kIterationLimit);
+    const SolveStatus phase2_status = phase2();
+    if (phase2_status != SolveStatus::kOptimal) return fail(phase2_status);
+    return extract();
+  }
+
+  /// Pre-pass: validate bounds; called from constructor path.
+  void validate_bounds() {
+    for (std::size_t j = 0; j < lower_.size(); ++j) {
+      if (upper_[j] < lower_[j] - options_.tolerance) {
+        shift_bounds_ok_ = false;
+        return;
+      }
+    }
+  }
+
+ private:
+  // Column layout: [0, n_struct) structural vars (shifted to lb=0),
+  // then slacks/surplus, then artificials. rhs_ kept separately.
+  const Model& model_;
+  const std::vector<double>& lower_;
+  const std::vector<double>& upper_;
+  const SimplexOptions& options_;
+
+  std::size_t n_struct_ = 0;
+  std::size_t n_total_ = 0;
+  std::size_t first_artificial_ = 0;
+  std::vector<std::vector<double>> a_;  // m rows
+  std::vector<double> rhs_;
+  std::vector<std::size_t> basis_;      // basis_[row] = column
+  std::vector<double> reduced_;         // reduced-cost row
+  double objective_shift_ = 0.0;        // constant from bound shifting
+  bool shift_bounds_ok_ = true;
+  bool iterations_exhausted_ = false;
+  std::size_t iterations_used_ = 0;
+
+  Solution fail(SolveStatus status) const {
+    Solution s;
+    s.status = status;
+    return s;
+  }
+
+  [[nodiscard]] std::size_t iteration_cap() const {
+    if (options_.max_iterations) return options_.max_iterations;
+    // Generous default: simplex rarely needs more than ~4(m+n) pivots in
+    // practice; the cap only guards against pathological cycling.
+    return 200 + 50 * (a_.size() + n_total_);
+  }
+
+  void build() {
+    n_struct_ = model_.variable_count();
+
+    // Row material: every model constraint, plus an upper-bound row for
+    // each variable with a finite upper bound after shifting.
+    struct RowSpec {
+      LinearExpr expr;  // in shifted variables
+      Relation rel;
+      double rhs;
+    };
+    std::vector<RowSpec> specs;
+    specs.reserve(model_.constraint_count() + n_struct_);
+
+    for (std::size_t c = 0; c < model_.constraint_count(); ++c) {
+      const auto& row = model_.constraint(static_cast<int>(c));
+      double shifted_rhs = row.rhs;
+      for (const Term& t : row.expr) {
+        shifted_rhs -= t.coeff * lower_[static_cast<std::size_t>(t.var)];
+      }
+      specs.push_back(RowSpec{row.expr, row.relation, shifted_rhs});
+    }
+    for (std::size_t j = 0; j < n_struct_; ++j) {
+      const double span = upper_[j] - lower_[j];
+      if (std::isfinite(span)) {
+        specs.push_back(RowSpec{{Term{static_cast<int>(j), 1.0}},
+                                Relation::kLessEqual, span});
+      }
+    }
+
+    // Normalize rhs >= 0 and count auxiliary columns.
+    std::size_t n_slack = 0;
+    std::size_t n_artificial = 0;
+    for (auto& spec : specs) {
+      if (spec.rhs < 0) {
+        for (auto& t : spec.expr) t.coeff = -t.coeff;
+        spec.rhs = -spec.rhs;
+        spec.rel = spec.rel == Relation::kLessEqual ? Relation::kGreaterEqual
+                   : spec.rel == Relation::kGreaterEqual ? Relation::kLessEqual
+                                                         : Relation::kEqual;
+      }
+      switch (spec.rel) {
+        case Relation::kLessEqual: ++n_slack; break;
+        case Relation::kGreaterEqual: ++n_slack; ++n_artificial; break;
+        case Relation::kEqual: ++n_artificial; break;
+      }
+    }
+
+    const std::size_t m = specs.size();
+    first_artificial_ = n_struct_ + n_slack;
+    n_total_ = first_artificial_ + n_artificial;
+    a_.assign(m, std::vector<double>(n_total_, 0.0));
+    rhs_.assign(m, 0.0);
+    basis_.assign(m, 0);
+
+    std::size_t slack_cursor = n_struct_;
+    std::size_t artificial_cursor = first_artificial_;
+    for (std::size_t i = 0; i < m; ++i) {
+      const auto& spec = specs[i];
+      for (const Term& t : spec.expr) {
+        a_[i][static_cast<std::size_t>(t.var)] += t.coeff;
+      }
+      rhs_[i] = spec.rhs;
+      switch (spec.rel) {
+        case Relation::kLessEqual:
+          a_[i][slack_cursor] = 1.0;
+          basis_[i] = slack_cursor++;
+          break;
+        case Relation::kGreaterEqual:
+          a_[i][slack_cursor++] = -1.0;
+          a_[i][artificial_cursor] = 1.0;
+          basis_[i] = artificial_cursor++;
+          break;
+        case Relation::kEqual:
+          a_[i][artificial_cursor] = 1.0;
+          basis_[i] = artificial_cursor++;
+          break;
+      }
+    }
+  }
+
+  void pivot(std::size_t row, std::size_t col) {
+    const double p = a_[row][col];
+    for (double& v : a_[row]) v /= p;
+    rhs_[row] /= p;
+    for (std::size_t i = 0; i < a_.size(); ++i) {
+      if (i == row) continue;
+      const double factor = a_[i][col];
+      if (factor == 0.0) continue;
+      for (std::size_t j = 0; j < n_total_; ++j) a_[i][j] -= factor * a_[row][j];
+      a_[i][col] = 0.0;  // exact zero to stop drift
+      rhs_[i] -= factor * rhs_[row];
+    }
+    const double rfactor = reduced_[col];
+    if (rfactor != 0.0) {
+      for (std::size_t j = 0; j < n_total_; ++j) reduced_[j] -= rfactor * a_[row][j];
+      reduced_[col] = 0.0;
+    }
+    basis_[row] = col;
+  }
+
+  /// Runs simplex iterations on the current reduced-cost row. Columns
+  /// >= entering_limit are never chosen to enter (used to ban artificials
+  /// in phase 2). Returns kOptimal / kUnbounded / kIterationLimit.
+  SolveStatus iterate(std::size_t entering_limit) {
+    const std::size_t cap = iteration_cap();
+    while (true) {
+      if (iterations_used_++ > cap) {
+        iterations_exhausted_ = true;
+        return SolveStatus::kIterationLimit;
+      }
+      // Bland's rule: smallest-index column with negative reduced cost.
+      std::size_t entering = n_total_;
+      for (std::size_t j = 0; j < entering_limit; ++j) {
+        if (reduced_[j] < -options_.tolerance) {
+          entering = j;
+          break;
+        }
+      }
+      if (entering == n_total_) return SolveStatus::kOptimal;
+
+      // Ratio test, Bland tie-break on smallest basis column.
+      std::size_t leaving_row = a_.size();
+      double best_ratio = 0.0;
+      for (std::size_t i = 0; i < a_.size(); ++i) {
+        if (a_[i][entering] > options_.tolerance) {
+          const double ratio = rhs_[i] / a_[i][entering];
+          if (leaving_row == a_.size() || ratio < best_ratio - options_.tolerance ||
+              (std::abs(ratio - best_ratio) <= options_.tolerance &&
+               basis_[i] < basis_[leaving_row])) {
+            leaving_row = i;
+            best_ratio = ratio;
+          }
+        }
+      }
+      if (leaving_row == a_.size()) return SolveStatus::kUnbounded;
+      pivot(leaving_row, entering);
+    }
+  }
+
+  bool phase1() {
+    if (first_artificial_ == n_total_) {
+      return true;  // no artificials; initial slack basis is feasible
+    }
+    // Phase-1 objective: minimize sum of artificials. Reduced costs start
+    // as c_j - sum over artificial-basic rows of A[i][j].
+    reduced_.assign(n_total_, 0.0);
+    for (std::size_t j = first_artificial_; j < n_total_; ++j) reduced_[j] = 1.0;
+    double z = 0.0;
+    for (std::size_t i = 0; i < a_.size(); ++i) {
+      if (basis_[i] >= first_artificial_) {
+        for (std::size_t j = 0; j < n_total_; ++j) reduced_[j] -= a_[i][j];
+        z += rhs_[i];
+      }
+    }
+    (void)z;
+    const SolveStatus status = iterate(n_total_);
+    if (status == SolveStatus::kIterationLimit) return true;  // flagged; caller checks
+    if (status == SolveStatus::kUnbounded) {
+      // Phase-1 objective is bounded below by 0; cannot be unbounded.
+      throw std::logic_error("simplex: phase-1 unbounded");
+    }
+    // Recompute the phase-1 objective value = sum of artificial values.
+    double infeasibility = 0.0;
+    for (std::size_t i = 0; i < a_.size(); ++i) {
+      if (basis_[i] >= first_artificial_) infeasibility += rhs_[i];
+    }
+    if (infeasibility > 1e-6) return false;
+
+    // Drive any degenerate artificials out of the basis where possible.
+    for (std::size_t i = 0; i < a_.size(); ++i) {
+      if (basis_[i] < first_artificial_) continue;
+      for (std::size_t j = 0; j < first_artificial_; ++j) {
+        if (std::abs(a_[i][j]) > options_.tolerance) {
+          pivot(i, j);
+          break;
+        }
+      }
+      // If no pivot column exists the row is redundant; the artificial
+      // stays basic at value ~0, which is harmless as it cannot re-enter.
+    }
+    return true;
+  }
+
+  SolveStatus phase2() {
+    // Real objective in shifted variables (minimization form).
+    std::vector<double> cost(n_total_, 0.0);
+    const double sign = model_.sense() == Sense::kMinimize ? 1.0 : -1.0;
+    objective_shift_ = 0.0;
+    for (const Term& t : model_.objective()) {
+      cost[static_cast<std::size_t>(t.var)] += sign * t.coeff;
+      objective_shift_ += sign * t.coeff * lower_[static_cast<std::size_t>(t.var)];
+    }
+    reduced_ = cost;
+    for (std::size_t i = 0; i < a_.size(); ++i) {
+      const double cb = cost[basis_[i]];
+      if (cb != 0.0) {
+        for (std::size_t j = 0; j < n_total_; ++j) reduced_[j] -= cb * a_[i][j];
+      }
+    }
+    // Artificials must not re-enter.
+    return iterate(first_artificial_);
+  }
+
+  Solution extract() const {
+    Solution s;
+    s.status = SolveStatus::kOptimal;
+    s.values.assign(model_.variable_count(), 0.0);
+    for (std::size_t i = 0; i < a_.size(); ++i) {
+      if (basis_[i] < n_struct_) s.values[basis_[i]] = rhs_[i];
+    }
+    for (std::size_t j = 0; j < n_struct_; ++j) s.values[j] += lower_[j];
+    s.objective = model_.evaluate_objective(s.values);
+    return s;
+  }
+};
+
+}  // namespace
+
+Solution SimplexSolver::solve(const Model& model) const {
+  std::vector<double> lower(model.variable_count());
+  std::vector<double> upper(model.variable_count());
+  for (std::size_t j = 0; j < model.variable_count(); ++j) {
+    lower[j] = model.variable(static_cast<int>(j)).lower;
+    upper[j] = model.variable(static_cast<int>(j)).upper;
+  }
+  return solve_with_bounds(model, lower, upper);
+}
+
+Solution SimplexSolver::solve_with_bounds(const Model& model,
+                                          const std::vector<double>& lower,
+                                          const std::vector<double>& upper) const {
+  if (lower.size() != model.variable_count() || upper.size() != model.variable_count()) {
+    throw std::invalid_argument("SimplexSolver: bound vector size mismatch");
+  }
+  Tableau tableau(model, lower, upper, options_);
+  return tableau.run();
+}
+
+}  // namespace splicer::lp

@@ -1,0 +1,41 @@
+#pragma once
+
+// Two-phase dense tableau simplex with Bland's anti-cycling rule.
+//
+// Scope: exact LP relaxations of the placement MILPs (hundreds to a few
+// thousand rows/columns). Dense storage keeps the implementation auditable;
+// it is not a sparse industrial code and does not pretend to be.
+
+#include <vector>
+
+#include "lp/model.h"
+
+namespace splicer::lp {
+
+struct SimplexOptions {
+  /// Hard cap on pivots across both phases (0 = heuristic default based on
+  /// problem size).
+  std::size_t max_iterations = 0;
+  /// Feasibility / reduced-cost tolerance.
+  double tolerance = 1e-9;
+};
+
+class SimplexSolver {
+ public:
+  explicit SimplexSolver(SimplexOptions options = {}) : options_(options) {}
+
+  /// Solves the continuous relaxation of `model` (integrality ignored).
+  [[nodiscard]] Solution solve(const Model& model) const;
+
+  /// Same, with per-variable bound overrides (branch & bound tightens
+  /// bounds without copying the model). Vectors must have size
+  /// model.variable_count().
+  [[nodiscard]] Solution solve_with_bounds(const Model& model,
+                                           const std::vector<double>& lower,
+                                           const std::vector<double>& upper) const;
+
+ private:
+  SimplexOptions options_;
+};
+
+}  // namespace splicer::lp

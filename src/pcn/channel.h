@@ -1,0 +1,76 @@
+#pragma once
+
+// A bidirectional payment channel with per-direction spendable balances and
+// in-flight HTLC locks.
+//
+// Funds movement follows HTLC semantics (paper SS II-A): forwarding value v
+// from a to b first *locks* v on a's side; when the downstream hop
+// acknowledges, the lock *settles* into b's spendable balance; on failure
+// or timeout the lock is *refunded* back to a. The channel total
+// (balances + locks) is invariant under all three operations, which is the
+// basis of the simulator's funds-conservation checks.
+
+#include "pcn/types.h"
+
+namespace splicer::pcn {
+
+class Channel {
+ public:
+  /// `node_a`/`node_b` are the endpoints as stored in the topology edge
+  /// (u, v); `funds_ab` is the spendable balance on a's side (usable for
+  /// a -> b payments), `funds_ba` on b's side.
+  Channel(NodeId node_a, NodeId node_b, Amount funds_ab, Amount funds_ba);
+
+  [[nodiscard]] NodeId node_a() const noexcept { return node_a_; }
+  [[nodiscard]] NodeId node_b() const noexcept { return node_b_; }
+
+  /// Direction when sending out of `from`; throws if `from` is not an
+  /// endpoint.
+  [[nodiscard]] Direction direction_from(NodeId from) const;
+
+  /// The node that pays (source side) in direction `d`.
+  [[nodiscard]] NodeId payer(Direction d) const noexcept {
+    return d == Direction::kForward ? node_a_ : node_b_;
+  }
+  [[nodiscard]] NodeId payee(Direction d) const noexcept {
+    return d == Direction::kForward ? node_b_ : node_a_;
+  }
+
+  [[nodiscard]] Amount available(Direction d) const noexcept {
+    return balance_[dir_index(d)];
+  }
+  [[nodiscard]] Amount locked(Direction d) const noexcept {
+    return locked_[dir_index(d)];
+  }
+  /// Total funds in the channel (both balances + both lock pools).
+  [[nodiscard]] Amount total() const noexcept {
+    return balance_[0] + balance_[1] + locked_[0] + locked_[1];
+  }
+  /// Capacity in the paper's sense (c_ab): all funds in the channel.
+  [[nodiscard]] Amount capacity() const noexcept { return total(); }
+
+  /// Moves `value` from the payer's spendable balance into the lock pool.
+  /// Returns false (no state change) if insufficient balance. value > 0.
+  [[nodiscard]] bool lock(Direction d, Amount value);
+
+  /// Settles a previously locked `value`: lock pool -> payee's balance.
+  void settle(Direction d, Amount value);
+
+  /// Refunds a previously locked `value`: lock pool -> payer's balance.
+  void refund(Direction d, Amount value);
+
+  /// Directly transfers spendable balance payer->payee (used for fees and
+  /// for instant settlement models). Returns false if insufficient.
+  [[nodiscard]] bool transfer(Direction d, Amount value);
+
+  /// Imbalance |balance_ab - balance_ba| (diagnostics / rebalancing tests).
+  [[nodiscard]] Amount imbalance() const noexcept;
+
+ private:
+  NodeId node_a_;
+  NodeId node_b_;
+  Amount balance_[2];
+  Amount locked_[2];
+};
+
+}  // namespace splicer::pcn

@@ -1,0 +1,39 @@
+#pragma once
+
+// Shared identifiers for the payment-channel-network model.
+
+#include <cstdint>
+
+#include "common/amount.h"
+#include "graph/graph.h"
+
+namespace splicer::pcn {
+
+using NodeId = graph::NodeId;
+using ChannelId = graph::EdgeId;  // channels are edges of the topology graph
+using common::Amount;
+
+using PaymentId = std::uint64_t;
+using TuId = std::uint64_t;  // transaction-unit id (paper: tuid)
+
+/// Direction across a channel. kForward is the stored edge's u -> v.
+enum class Direction : std::uint8_t { kForward = 0, kBackward = 1 };
+
+[[nodiscard]] constexpr Direction opposite(Direction d) noexcept {
+  return d == Direction::kForward ? Direction::kBackward : Direction::kForward;
+}
+
+[[nodiscard]] constexpr std::size_t dir_index(Direction d) noexcept {
+  return static_cast<std::size_t>(d);
+}
+
+/// Directed channel reference: (channel, direction) - the unit that carries
+/// balances, prices and queues.
+struct DirectedChannel {
+  ChannelId channel = graph::kInvalidEdge;
+  Direction direction = Direction::kForward;
+
+  friend bool operator==(const DirectedChannel&, const DirectedChannel&) = default;
+};
+
+}  // namespace splicer::pcn

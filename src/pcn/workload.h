@@ -1,0 +1,51 @@
+#pragma once
+
+// Payment workload generation (paper SS V-A):
+//  * values from the credit-card-calibrated log-normal (with a scale knob
+//    for the Fig. 7(b)/8(b) transaction-size sweep),
+//  * Poisson arrivals over a configurable horizon,
+//  * Zipf-skewed endpoints with an explicit imbalance knob so that net
+//    flows are unbalanced - the paper confirms its transactions "are
+//    guaranteed to cause some local deadlocks and contain large-value
+//    transactions".
+
+#include <vector>
+
+#include "common/rng.h"
+#include "pcn/types.h"
+
+namespace splicer::pcn {
+
+struct Payment {
+  PaymentId id = 0;
+  NodeId sender = graph::kInvalidNode;
+  NodeId receiver = graph::kInvalidNode;
+  Amount value = 0;
+  double arrival_time = 0.0;  // seconds
+  double deadline = 0.0;      // arrival + timeout
+};
+
+struct WorkloadConfig {
+  std::size_t payment_count = 2000;
+  double horizon_seconds = 30.0;   // arrivals spread over [0, horizon)
+  double timeout_seconds = 3.0;    // paper: transaction timeout 3 s
+  double value_scale = 1.0;        // Fig. 7(b)/8(b) sweep
+  double sender_zipf = 0.6;        // endpoint popularity skew
+  double receiver_zipf = 0.9;      // receivers more concentrated -> net sinks
+  double imbalance = 0.15;         // extra probability mass on "sink" nodes
+  double sink_fraction = 0.1;      // fraction of clients acting as sinks
+};
+
+/// Generates `config.payment_count` payments among `clients` (>= 2 nodes).
+/// Senders and receivers are always distinct. Deterministic given `rng`.
+[[nodiscard]] std::vector<Payment> generate_payments(
+    const std::vector<NodeId>& clients, const WorkloadConfig& config,
+    common::Rng& rng);
+
+/// Net flow per node (positive = net receiver), in milli-tokens; the
+/// imbalance diagnostic used by tests to prove the workload is
+/// deadlock-prone.
+[[nodiscard]] std::vector<Amount> net_flow_by_node(std::size_t node_count,
+                                                   const std::vector<Payment>& payments);
+
+}  // namespace splicer::pcn

@@ -1,0 +1,66 @@
+#include "placement/approx_solver.h"
+
+#include "placement/assignment.h"
+#include "placement/cost_model.h"
+#include "submodular/double_greedy.h"
+#include "submodular/greedy_descent.h"
+
+namespace splicer::placement {
+
+namespace {
+
+ApproxResult finish(const PlacementInstance& instance, submodular::Subset subset,
+                    std::size_t oracle_calls) {
+  // Guard: an empty subset cannot serve clients; fall back to the single
+  // best hub (the penalty in the set function makes this unreachable in
+  // practice, but stay safe).
+  if (submodular::cardinality(subset) == 0) {
+    double best = 0.0;
+    std::size_t best_n = 0;
+    for (std::size_t n = 0; n < instance.candidate_count(); ++n) {
+      subset.assign(instance.candidate_count(), 0);
+      subset[n] = 1;
+      const auto plan = optimal_assignment(instance, subset);
+      const double cost = balance_cost(instance, plan).balance;
+      if (n == 0 || cost < best) {
+        best = cost;
+        best_n = n;
+      }
+    }
+    subset.assign(instance.candidate_count(), 0);
+    subset[best_n] = 1;
+  }
+  ApproxResult result;
+  result.plan = optimal_assignment(instance, subset);
+  result.costs = balance_cost(instance, result.plan);
+  result.oracle_calls = oracle_calls;
+  return result;
+}
+
+}  // namespace
+
+ApproxResult solve_approx(const PlacementInstance& instance) {
+  instance.validate();
+  const auto f = placement_set_function(instance);
+  const auto minimized = submodular::minimize_supermodular(f, empty_set_penalty(instance));
+  return finish(instance, minimized.subset, minimized.oracle_calls);
+}
+
+ApproxResult solve_approx_randomized(const PlacementInstance& instance,
+                                     common::Rng& rng) {
+  instance.validate();
+  const auto f = placement_set_function(instance);
+  const auto minimized = submodular::minimize_supermodular_randomized(
+      f, empty_set_penalty(instance), rng);
+  return finish(instance, minimized.subset, minimized.oracle_calls);
+}
+
+ApproxResult solve_greedy_descent(const PlacementInstance& instance) {
+  instance.validate();
+  const auto f = placement_set_function(instance);
+  const auto descended =
+      submodular::greedy_descent(f, submodular::full_subset(instance.candidate_count()));
+  return finish(instance, descended.subset, descended.oracle_calls);
+}
+
+}  // namespace splicer::placement

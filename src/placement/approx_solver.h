@@ -1,0 +1,32 @@
+#pragma once
+
+// Large-scale approximate placement (paper SS IV-C, Alg. 1): minimise the
+// supermodular f(X) by maximising f_hat = f_ub - f(X) with double greedy.
+// Lemma 2 guarantees supermodularity for uniform delta; on hop-derived
+// (non-uniform) delta the algorithm still runs and is evaluated empirically
+// (Fig. 9(a) shows it tracks the optimum closely).
+
+#include "common/rng.h"
+#include "placement/types.h"
+
+namespace splicer::placement {
+
+struct ApproxResult {
+  PlacementPlan plan;
+  CostBreakdown costs;
+  std::size_t oracle_calls = 0;
+};
+
+/// Deterministic double greedy (paper Alg. 1 with the a_i >= b_i rule).
+[[nodiscard]] ApproxResult solve_approx(const PlacementInstance& instance);
+
+/// Randomised double greedy (paper Alg. 1 line 5: add with probability
+/// a'/(a'+b')); 1/2-approximation of the submodular maximisation in
+/// expectation.
+[[nodiscard]] ApproxResult solve_approx_randomized(const PlacementInstance& instance,
+                                                   common::Rng& rng);
+
+/// Greedy-descent baseline from the full candidate set (ablation).
+[[nodiscard]] ApproxResult solve_greedy_descent(const PlacementInstance& instance);
+
+}  // namespace splicer::placement

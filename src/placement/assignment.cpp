@@ -1,0 +1,54 @@
+#include "placement/assignment.h"
+
+#include <limits>
+#include <stdexcept>
+
+namespace splicer::placement {
+
+double assignment_score(const PlacementInstance& instance,
+                        const submodular::Subset& placed, std::size_t client,
+                        std::size_t candidate) {
+  double sync = 0.0;
+  for (std::size_t l = 0; l < instance.candidate_count(); ++l) {
+    if (placed[l]) sync += instance.delta[candidate][l];
+  }
+  return instance.omega * sync + instance.zeta[client][candidate];
+}
+
+PlacementPlan optimal_assignment(const PlacementInstance& instance,
+                                 const submodular::Subset& placed) {
+  if (placed.size() != instance.candidate_count()) {
+    throw std::invalid_argument("optimal_assignment: subset size mismatch");
+  }
+  if (submodular::cardinality(placed) == 0) {
+    throw std::invalid_argument("optimal_assignment: empty placement");
+  }
+  PlacementPlan plan;
+  plan.placed.assign(placed.begin(), placed.end());
+  plan.assignment.resize(instance.client_count());
+
+  // Precompute the per-candidate sync term once (same for every client).
+  std::vector<double> sync_term(instance.candidate_count(), 0.0);
+  for (std::size_t n = 0; n < instance.candidate_count(); ++n) {
+    if (!placed[n]) continue;
+    for (std::size_t l = 0; l < instance.candidate_count(); ++l) {
+      if (placed[l]) sync_term[n] += instance.delta[n][l];
+    }
+  }
+  for (std::size_t m = 0; m < instance.client_count(); ++m) {
+    double best = std::numeric_limits<double>::infinity();
+    std::size_t best_candidate = instance.candidate_count();
+    for (std::size_t n = 0; n < instance.candidate_count(); ++n) {
+      if (!placed[n]) continue;
+      const double score = instance.omega * sync_term[n] + instance.zeta[m][n];
+      if (score < best) {
+        best = score;
+        best_candidate = n;
+      }
+    }
+    plan.assignment[m] = best_candidate;
+  }
+  return plan;
+}
+
+}  // namespace splicer::placement

@@ -1,0 +1,24 @@
+#pragma once
+
+// Lemma 1 (paper SS IV-C): given a placement x, the optimal assignment maps
+// each client m to
+//   argmin_{n : x_n = 1}  omega * sum_{l : x_l = 1} delta_nl + zeta_mn
+// Ties break toward the smallest candidate index (deterministic).
+
+#include "placement/types.h"
+#include "submodular/set_function.h"
+
+namespace splicer::placement {
+
+/// Optimal assignment for the placement encoded by `placed` (size =
+/// candidate_count, at least one set bit). Returns a full PlacementPlan.
+[[nodiscard]] PlacementPlan optimal_assignment(const PlacementInstance& instance,
+                                               const submodular::Subset& placed);
+
+/// Per-candidate Lemma-1 assignment score omega * sum_l delta_nl + zeta_mn
+/// for client m; exposed for tests.
+[[nodiscard]] double assignment_score(const PlacementInstance& instance,
+                                      const submodular::Subset& placed,
+                                      std::size_t client, std::size_t candidate);
+
+}  // namespace splicer::placement

@@ -1,0 +1,59 @@
+#pragma once
+
+// Builds placement instances from topologies and evaluates the paper's cost
+// functions. The paper's experiment parameters (SS V-A):
+//   zeta_mn = 0.02 * hops_mn,  delta_nl = 0.01 * hops_nl,
+//   eps_nl  = 0.05 * hops_nl.
+
+#include "graph/metrics.h"
+#include "placement/types.h"
+#include "submodular/set_function.h"
+
+namespace splicer::placement {
+
+struct CostCoefficients {
+  double zeta_per_hop = 0.02;     // management
+  double delta_per_hop = 0.01;    // synchronisation, per managed client
+  double epsilon_per_hop = 0.05;  // synchronisation, constant
+  /// If true, delta_nl is replaced by its uniform mean over candidate
+  /// pairs - the Lemma-2 condition under which f is provably supermodular.
+  bool uniform_delta = false;
+};
+
+/// Instance over `graph` with the given candidate set; clients are all
+/// remaining nodes. Costs derive from BFS hop counts.
+[[nodiscard]] PlacementInstance build_instance(const graph::Graph& graph,
+                                               std::vector<graph::NodeId> candidates,
+                                               double omega,
+                                               const CostCoefficients& coefficients = {});
+
+/// Convenience: top-`candidate_count` nodes by degree become candidates
+/// (the trust model's "excellence" selection).
+[[nodiscard]] PlacementInstance build_instance_by_degree(
+    const graph::Graph& graph, std::size_t candidate_count, double omega,
+    const CostCoefficients& coefficients = {});
+
+/// Management cost C_M (eq. 3) of a plan.
+[[nodiscard]] double management_cost(const PlacementInstance& instance,
+                                     const PlacementPlan& plan);
+
+/// Synchronisation cost C_S (eq. 4) of a plan.
+[[nodiscard]] double synchronization_cost(const PlacementInstance& instance,
+                                          const PlacementPlan& plan);
+
+/// Balance cost C_B (eq. 5) plus its parts.
+[[nodiscard]] CostBreakdown balance_cost(const PlacementInstance& instance,
+                                         const PlacementPlan& plan);
+
+/// The set function f(X) = C_B(x_X, y(x_X)) of eq. (14): subsets of the
+/// candidate set evaluated under the Lemma-1 optimal assignment. The empty
+/// set (no hubs -> clients unassignable) evaluates to
+/// `empty_set_penalty(instance)`.
+[[nodiscard]] submodular::SetFunction placement_set_function(
+    const PlacementInstance& instance);
+
+/// An upper bound on max_X f(X) (used as f_ub when flipping minimisation
+/// into submodular maximisation); also the f(empty set) penalty.
+[[nodiscard]] double empty_set_penalty(const PlacementInstance& instance);
+
+}  // namespace splicer::placement

@@ -1,0 +1,34 @@
+#include "placement/exhaustive_solver.h"
+
+#include <limits>
+#include <stdexcept>
+
+#include "placement/assignment.h"
+#include "placement/cost_model.h"
+
+namespace splicer::placement {
+
+ExhaustiveResult solve_exhaustive(const PlacementInstance& instance) {
+  instance.validate();
+  const std::size_t n = instance.candidate_count();
+  if (n > 24) throw std::invalid_argument("solve_exhaustive: too many candidates");
+
+  ExhaustiveResult result;
+  double best = std::numeric_limits<double>::infinity();
+  submodular::Subset subset(n, 0);
+  const std::uint64_t limit = 1ULL << n;
+  for (std::uint64_t mask = 1; mask < limit; ++mask) {
+    for (std::size_t i = 0; i < n; ++i) subset[i] = (mask >> i) & 1 ? 1 : 0;
+    const PlacementPlan plan = optimal_assignment(instance, subset);
+    const CostBreakdown costs = balance_cost(instance, plan);
+    ++result.subsets_evaluated;
+    if (costs.balance < best) {
+      best = costs.balance;
+      result.plan = plan;
+      result.costs = costs;
+    }
+  }
+  return result;
+}
+
+}  // namespace splicer::placement

@@ -1,0 +1,26 @@
+#pragma once
+
+// Exact placement by exhaustive enumeration of candidate subsets, each
+// evaluated under the Lemma-1 optimal assignment. Lemma 1 makes this a
+// provably exact oracle: for every placement x the assignment is optimal,
+// so scanning all 2^|V_SNC|-1 non-empty subsets scans all optima. Used as
+// the "optimal" line in Fig. 9 (and to cross-check the MILP in tests) at
+// candidate counts where a dense-tableau MILP would be slow.
+
+#include <cstddef>
+
+#include "placement/types.h"
+
+namespace splicer::placement {
+
+struct ExhaustiveResult {
+  PlacementPlan plan;
+  CostBreakdown costs;
+  std::size_t subsets_evaluated = 0;
+};
+
+/// Requires candidate_count <= 24 (2^24 evaluations is already ~10^7 times
+/// a Lemma-1 assignment; keep instances sensible).
+[[nodiscard]] ExhaustiveResult solve_exhaustive(const PlacementInstance& instance);
+
+}  // namespace splicer::placement

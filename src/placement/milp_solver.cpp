@@ -1,0 +1,209 @@
+#include "placement/milp_solver.h"
+
+#include <stdexcept>
+#include <string>
+
+#include "placement/approx_solver.h"
+#include "placement/assignment.h"
+#include "placement/cost_model.h"
+
+namespace splicer::placement {
+
+namespace {
+
+/// Variable index bookkeeping for the linearised model.
+struct Indices {
+  std::size_t n_cand = 0;
+  std::size_t n_client = 0;
+
+  [[nodiscard]] int x(std::size_t n) const { return static_cast<int>(n); }
+  [[nodiscard]] int y(std::size_t m, std::size_t n) const {
+    return static_cast<int>(n_cand + m * n_cand + n);
+  }
+  [[nodiscard]] int theta(std::size_t n, std::size_t l) const {
+    return static_cast<int>(n_cand + n_client * n_cand + n * n_cand + l);
+  }
+  [[nodiscard]] int phi(std::size_t n, std::size_t l, std::size_t m) const {
+    return static_cast<int>(n_cand + n_client * n_cand + n_cand * n_cand +
+                            (n * n_cand + l) * n_client + m);
+  }
+};
+
+}  // namespace
+
+lp::Model build_placement_milp(const PlacementInstance& instance,
+                               MilpFormulation formulation) {
+  instance.validate();
+  const Indices ix{instance.candidate_count(), instance.client_count()};
+  const bool faithful = formulation == MilpFormulation::kFaithful;
+
+  lp::Model model;
+  // x_n: branch first (priority 2); y_mn second (priority 1).
+  for (std::size_t n = 0; n < ix.n_cand; ++n) {
+    model.add_binary("x_" + std::to_string(n), /*branch_priority=*/2);
+  }
+  for (std::size_t m = 0; m < ix.n_client; ++m) {
+    for (std::size_t n = 0; n < ix.n_cand; ++n) {
+      model.add_binary("y_" + std::to_string(m) + "_" + std::to_string(n),
+                       /*branch_priority=*/1);
+    }
+  }
+  // theta_nl / phi_nlm: binary in the faithful formulation (eqs. 6-7),
+  // continuous [0,1] in the tight one (they settle at the products).
+  const auto aux_kind = faithful ? lp::VarKind::kBinary : lp::VarKind::kContinuous;
+  for (std::size_t n = 0; n < ix.n_cand; ++n) {
+    for (std::size_t l = 0; l < ix.n_cand; ++l) {
+      model.add_variable("th_" + std::to_string(n) + "_" + std::to_string(l), 0.0,
+                         1.0, aux_kind);
+    }
+  }
+  for (std::size_t n = 0; n < ix.n_cand; ++n) {
+    for (std::size_t l = 0; l < ix.n_cand; ++l) {
+      for (std::size_t m = 0; m < ix.n_client; ++m) {
+        model.add_variable("ph_" + std::to_string(n) + "_" + std::to_string(l) +
+                               "_" + std::to_string(m),
+                           0.0, 1.0, aux_kind);
+      }
+    }
+  }
+
+  // Each client assigned exactly once: sum_n y_mn = 1  (from eq. 2 setup).
+  for (std::size_t m = 0; m < ix.n_client; ++m) {
+    lp::LinearExpr expr;
+    for (std::size_t n = 0; n < ix.n_cand; ++n) expr.push_back({ix.y(m, n), 1.0});
+    model.add_constraint(std::move(expr), lp::Relation::kEqual, 1.0);
+  }
+  // Assignment only to placed nodes: y_mn <= x_n.
+  for (std::size_t m = 0; m < ix.n_client; ++m) {
+    for (std::size_t n = 0; n < ix.n_cand; ++n) {
+      model.add_constraint({{ix.y(m, n), 1.0}, {ix.x(n), -1.0}},
+                           lp::Relation::kLessEqual, 0.0);
+    }
+  }
+  // (8): theta_nl >= x_n + x_l - 1  [and, faithful only, theta <= x_n, x_l].
+  for (std::size_t n = 0; n < ix.n_cand; ++n) {
+    for (std::size_t l = 0; l < ix.n_cand; ++l) {
+      model.add_constraint(
+          {{ix.x(n), 1.0}, {ix.x(l), 1.0}, {ix.theta(n, l), -1.0}},
+          lp::Relation::kLessEqual, 1.0);
+      if (faithful) {
+        model.add_constraint({{ix.theta(n, l), 1.0}, {ix.x(n), -1.0}},
+                             lp::Relation::kLessEqual, 0.0);
+        model.add_constraint({{ix.theta(n, l), 1.0}, {ix.x(l), -1.0}},
+                             lp::Relation::kLessEqual, 0.0);
+      }
+    }
+  }
+  // (9): phi_nlm >= theta_nl + y_mn - 1  [faithful adds the upper links].
+  for (std::size_t n = 0; n < ix.n_cand; ++n) {
+    for (std::size_t l = 0; l < ix.n_cand; ++l) {
+      for (std::size_t m = 0; m < ix.n_client; ++m) {
+        model.add_constraint({{ix.theta(n, l), 1.0},
+                              {ix.y(m, n), 1.0},
+                              {ix.phi(n, l, m), -1.0}},
+                             lp::Relation::kLessEqual, 1.0);
+        if (faithful) {
+          model.add_constraint({{ix.phi(n, l, m), 1.0}, {ix.theta(n, l), -1.0}},
+                               lp::Relation::kLessEqual, 0.0);
+          model.add_constraint({{ix.phi(n, l, m), 1.0}, {ix.y(m, n), -1.0}},
+                               lp::Relation::kLessEqual, 0.0);
+        }
+      }
+    }
+  }
+
+  // Objective (10): C_M(y) + omega * sum_nl (sum_m delta_nl phi_nlm
+  //                                          + eps_nl theta_nl).
+  lp::LinearExpr objective;
+  for (std::size_t m = 0; m < ix.n_client; ++m) {
+    for (std::size_t n = 0; n < ix.n_cand; ++n) {
+      if (instance.zeta[m][n] != 0.0) {
+        objective.push_back({ix.y(m, n), instance.zeta[m][n]});
+      }
+    }
+  }
+  for (std::size_t n = 0; n < ix.n_cand; ++n) {
+    for (std::size_t l = 0; l < ix.n_cand; ++l) {
+      if (instance.omega * instance.epsilon[n][l] != 0.0) {
+        objective.push_back({ix.theta(n, l), instance.omega * instance.epsilon[n][l]});
+      }
+      if (instance.delta[n][l] == 0.0) continue;
+      for (std::size_t m = 0; m < ix.n_client; ++m) {
+        objective.push_back({ix.phi(n, l, m), instance.omega * instance.delta[n][l]});
+      }
+    }
+  }
+  model.set_objective(std::move(objective), lp::Sense::kMinimize);
+  return model;
+}
+
+namespace {
+
+std::vector<double> plan_to_values(const PlacementInstance& instance,
+                                   const PlacementPlan& plan,
+                                   const lp::Model& model) {
+  const Indices ix{instance.candidate_count(), instance.client_count()};
+  std::vector<double> values(model.variable_count(), 0.0);
+  for (std::size_t n = 0; n < ix.n_cand; ++n) {
+    values[static_cast<std::size_t>(ix.x(n))] = plan.placed[n] ? 1.0 : 0.0;
+  }
+  for (std::size_t m = 0; m < ix.n_client; ++m) {
+    values[static_cast<std::size_t>(ix.y(m, plan.assignment[m]))] = 1.0;
+  }
+  for (std::size_t n = 0; n < ix.n_cand; ++n) {
+    for (std::size_t l = 0; l < ix.n_cand; ++l) {
+      const double theta =
+          (plan.placed[n] && plan.placed[l]) ? 1.0 : 0.0;
+      values[static_cast<std::size_t>(ix.theta(n, l))] = theta;
+      if (theta == 0.0) continue;
+      for (std::size_t m = 0; m < ix.n_client; ++m) {
+        if (plan.assignment[m] == n) {
+          values[static_cast<std::size_t>(ix.phi(n, l, m))] = 1.0;
+        }
+      }
+    }
+  }
+  return values;
+}
+
+}  // namespace
+
+MilpResult solve_milp(const PlacementInstance& instance, const MilpOptions& options) {
+  MilpResult result;
+  const lp::Model model = build_placement_milp(instance, options.formulation);
+  result.variables = model.variable_count();
+  result.constraints = model.constraint_count();
+
+  lp::BranchAndBoundSolver solver(options.branch_and_bound);
+  if (options.warm_start_from_approximation) {
+    const ApproxResult warm = solve_approx(instance);
+    solver.set_warm_start(plan_to_values(instance, warm.plan, model));
+  }
+  const lp::Solution solution = solver.solve(model);
+  result.status = solution.status;
+  result.stats = solver.stats();
+  if (solution.status != lp::SolveStatus::kOptimal &&
+      solution.status != lp::SolveStatus::kNodeLimit) {
+    return result;
+  }
+
+  const Indices ix{instance.candidate_count(), instance.client_count()};
+  result.plan.placed.assign(ix.n_cand, 0);
+  for (std::size_t n = 0; n < ix.n_cand; ++n) {
+    result.plan.placed[n] =
+        solution.values[static_cast<std::size_t>(ix.x(n))] > 0.5 ? 1 : 0;
+  }
+  result.plan.assignment.assign(ix.n_client, 0);
+  for (std::size_t m = 0; m < ix.n_client; ++m) {
+    for (std::size_t n = 0; n < ix.n_cand; ++n) {
+      if (solution.values[static_cast<std::size_t>(ix.y(m, n))] > 0.5) {
+        result.plan.assignment[m] = n;
+        break;
+      }
+    }
+  }
+  result.costs = balance_cost(instance, result.plan);
+  return result;
+}
+
+}  // namespace splicer::placement

@@ -1,0 +1,49 @@
+#pragma once
+
+// Small-scale exact placement via the paper's MILP linearisation
+// (SS IV-C, eqs. 6-10):
+//   theta_nl  = x_n * x_l        linearised by (8)
+//   phi_nlm   = theta_nl * y_mn  linearised by (9)
+//   objective  C_M(y) + omega * C_S_hat(theta, phi)   (eq. 10)
+//
+// Two formulations are provided:
+//  * kFaithful: constraints (8)-(9) exactly as printed, theta/phi binary -
+//    the paper's formulation verbatim.
+//  * kTight: because delta, epsilon >= 0 and the objective minimises, the
+//    upper-linking constraints (theta <= x_n etc.) are slack at any
+//    optimum, so only the lower bounds theta >= x_n + x_l - 1 and
+//    phi >= theta + y - 1 are kept and theta/phi relax to continuous
+//    [0,1]. Provably equivalent (tests assert it); about 3x fewer rows.
+
+#include "lp/branch_and_bound.h"
+#include "placement/types.h"
+
+namespace splicer::placement {
+
+enum class MilpFormulation { kFaithful, kTight };
+
+struct MilpOptions {
+  MilpFormulation formulation = MilpFormulation::kTight;
+  lp::BranchAndBoundOptions branch_and_bound;
+  /// Warm-start branch & bound from the double-greedy approximation.
+  bool warm_start_from_approximation = true;
+};
+
+struct MilpResult {
+  lp::SolveStatus status = lp::SolveStatus::kInfeasible;
+  PlacementPlan plan;       // valid when status == kOptimal or kNodeLimit
+  CostBreakdown costs;
+  lp::BranchAndBoundStats stats;
+  std::size_t variables = 0;
+  std::size_t constraints = 0;
+};
+
+/// Builds the MILP for `instance` (exposed for tests and the micro bench).
+[[nodiscard]] lp::Model build_placement_milp(const PlacementInstance& instance,
+                                             MilpFormulation formulation);
+
+/// Solves the placement MILP exactly.
+[[nodiscard]] MilpResult solve_milp(const PlacementInstance& instance,
+                                    const MilpOptions& options = {});
+
+}  // namespace splicer::placement

@@ -1,0 +1,190 @@
+#include "placement/topology_transform.h"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+#include "graph/metrics.h"
+#include "graph/shortest_path.h"
+
+namespace splicer::placement {
+
+namespace {
+
+using graph::NodeId;
+using pcn::Amount;
+
+/// Spendable funds a node holds across all its channel sides.
+Amount node_liquidity(const pcn::Network& network, NodeId node) {
+  Amount total = 0;
+  for (const auto& half : network.topology().neighbors(node)) {
+    const auto& ch = network.channel(half.edge);
+    total += ch.available(ch.direction_from(node));
+  }
+  // Floor so isolated/poor nodes still get a usable spoke.
+  return std::max(total, common::whole_tokens(10));
+}
+
+/// Assigns every node to its nearest hub by BFS hops (hubs map to self).
+/// Client assignments from `plan` take precedence (they are Lemma-1
+/// optimal, which equals nearest-hub only for uniform delta).
+std::vector<NodeId> assign_all_nodes(const pcn::Network& source,
+                                     const PlacementInstance& instance,
+                                     const PlacementPlan& plan,
+                                     const std::vector<NodeId>& hubs) {
+  const auto& g = source.topology();
+  std::vector<NodeId> hub_of(g.node_count(), graph::kInvalidNode);
+  std::vector<int> best_hops(g.node_count(), std::numeric_limits<int>::max());
+  for (const NodeId hub : hubs) {
+    const auto hops = graph::bfs_hops(g, hub);
+    for (NodeId v = 0; v < g.node_count(); ++v) {
+      if (hops[v] >= 0 && hops[v] < best_hops[v]) {
+        best_hops[v] = hops[v];
+        hub_of[v] = hub;
+      }
+    }
+  }
+  for (const NodeId hub : hubs) hub_of[hub] = hub;
+  // Plan assignments override (instance clients only).
+  for (std::size_t m = 0; m < instance.client_count(); ++m) {
+    hub_of[instance.clients[m]] = instance.candidates[plan.assignment[m]];
+  }
+  // Disconnected stragglers go to the first hub.
+  for (NodeId v = 0; v < g.node_count(); ++v) {
+    if (hub_of[v] == graph::kInvalidNode) hub_of[v] = hubs.front();
+  }
+  return hub_of;
+}
+
+TransformResult assemble(const pcn::Network& source, std::vector<NodeId> hubs,
+                         std::vector<NodeId> hub_of,
+                         const TransformOptions& options) {
+  const auto& g = source.topology();
+  const std::size_t n = g.node_count();
+  std::vector<char> is_hub(n, 0);
+  for (const NodeId hub : hubs) is_hub[hub] = 1;
+
+  graph::Graph star(n);
+  std::vector<Amount> funds_ab;
+  std::vector<Amount> funds_ba;
+
+  // Spokes: one channel per non-hub node.
+  for (NodeId v = 0; v < n; ++v) {
+    if (is_hub[v]) continue;
+    const Amount liquidity = node_liquidity(source, v);
+    const auto hub_side = static_cast<Amount>(
+        static_cast<double>(liquidity) * options.hub_spoke_factor);
+    star.add_edge(v, hub_of[v]);
+    funds_ab.push_back(liquidity);  // edge stored (v, hub): forward = v->hub
+    funds_ba.push_back(hub_side);
+  }
+
+  // Trunks: aggregate original cross-region liquidity per hub pair.
+  const auto hub_index = [&](NodeId hub) {
+    return static_cast<std::size_t>(
+        std::find(hubs.begin(), hubs.end(), hub) - hubs.begin());
+  };
+  std::vector<std::vector<Amount>> crossing(hubs.size(),
+                                            std::vector<Amount>(hubs.size(), 0));
+  for (graph::EdgeId e = 0; e < g.edge_count(); ++e) {
+    const auto& edge = g.edge(e);
+    const std::size_t ru = hub_index(hub_of[edge.u]);
+    const std::size_t rv = hub_index(hub_of[edge.v]);
+    if (ru == rv) continue;
+    const Amount total = source.channel(e).total();
+    crossing[std::min(ru, rv)][std::max(ru, rv)] += total;
+  }
+  const Amount trunk_floor = common::tokens(options.min_trunk_side_tokens);
+  // Bounded trunk degree: each hub nominates its most liquid partners; a
+  // trunk is kept if either endpoint nominated it.
+  std::vector<std::vector<char>> nominated(hubs.size(),
+                                           std::vector<char>(hubs.size(), 0));
+  for (std::size_t i = 0; i < hubs.size(); ++i) {
+    std::vector<std::size_t> partners;
+    for (std::size_t j = 0; j < hubs.size(); ++j) {
+      const Amount cross = crossing[std::min(i, j)][std::max(i, j)];
+      if (j != i && cross > 0) partners.push_back(j);
+    }
+    std::sort(partners.begin(), partners.end(), [&](std::size_t a, std::size_t b) {
+      const Amount ca = crossing[std::min(i, a)][std::max(i, a)];
+      const Amount cb = crossing[std::min(i, b)][std::max(i, b)];
+      if (ca != cb) return ca > cb;
+      return a < b;
+    });
+    if (options.max_trunks_per_hub != 0 &&
+        partners.size() > options.max_trunks_per_hub) {
+      partners.resize(options.max_trunks_per_hub);
+    }
+    for (const auto j : partners) nominated[i][j] = 1;
+  }
+  std::vector<std::vector<char>> linked(hubs.size(),
+                                        std::vector<char>(hubs.size(), 0));
+  for (std::size_t i = 0; i < hubs.size(); ++i) {
+    for (std::size_t j = i + 1; j < hubs.size(); ++j) {
+      if (crossing[i][j] <= 0) continue;
+      if (!nominated[i][j] && !nominated[j][i]) continue;
+      const Amount side = std::max(crossing[i][j] / 2, trunk_floor);
+      star.add_edge(hubs[i], hubs[j]);
+      funds_ab.push_back(side);
+      funds_ba.push_back(side);
+      linked[i][j] = 1;
+    }
+  }
+  // Guarantee hub-mesh connectivity: link every hub to hub 0 if its
+  // component lacks a path (cheap union-find over the trunk links).
+  std::vector<std::size_t> parent(hubs.size());
+  for (std::size_t i = 0; i < hubs.size(); ++i) parent[i] = i;
+  const auto find = [&](std::size_t a) {
+    while (parent[a] != a) a = parent[a] = parent[parent[a]];
+    return a;
+  };
+  for (std::size_t i = 0; i < hubs.size(); ++i) {
+    for (std::size_t j = i + 1; j < hubs.size(); ++j) {
+      if (linked[i][j]) parent[find(i)] = find(j);
+    }
+  }
+  for (std::size_t i = 1; i < hubs.size(); ++i) {
+    if (find(i) != find(0)) {
+      star.add_edge(hubs[0], hubs[i]);
+      funds_ab.push_back(trunk_floor);
+      funds_ba.push_back(trunk_floor);
+      parent[find(i)] = find(0);
+    }
+  }
+
+  TransformResult result{
+      pcn::Network(std::move(star), std::move(funds_ab), std::move(funds_ba)),
+      std::move(hubs), std::move(hub_of), std::move(is_hub)};
+  return result;
+}
+
+}  // namespace
+
+TransformResult build_multi_star(const pcn::Network& source,
+                                 const PlacementInstance& instance,
+                                 const PlacementPlan& plan,
+                                 const TransformOptions& options) {
+  if (plan.placed.size() != instance.candidate_count() ||
+      plan.assignment.size() != instance.client_count()) {
+    throw std::invalid_argument("build_multi_star: plan/instance mismatch");
+  }
+  std::vector<NodeId> hubs;
+  for (std::size_t nn = 0; nn < instance.candidate_count(); ++nn) {
+    if (plan.placed[nn]) hubs.push_back(instance.candidates[nn]);
+  }
+  if (hubs.empty()) throw std::invalid_argument("build_multi_star: no hubs placed");
+  auto hub_of = assign_all_nodes(source, instance, plan, hubs);
+  return assemble(source, std::move(hubs), std::move(hub_of), options);
+}
+
+TransformResult build_single_star(const pcn::Network& source, graph::NodeId hub,
+                                  const TransformOptions& options) {
+  if (hub == graph::kInvalidNode) {
+    hub = graph::nodes_by_degree(source.topology()).front();
+  }
+  std::vector<NodeId> hubs{hub};
+  std::vector<NodeId> hub_of(source.node_count(), hub);
+  return assemble(source, std::move(hubs), std::move(hub_of), options);
+}
+
+}  // namespace splicer::placement

@@ -1,0 +1,67 @@
+#pragma once
+
+// Turns a raw client PCN plus a placement plan into the multi-star-like
+// topology of Definition 1 / Fig. 2(b), modelling the trust model's
+// "removal of redundant payment channels" (Fig. 4):
+//
+//  * every non-hub node keeps exactly one channel, to its assigned hub;
+//    its original liquidity (the sum of its channel-side funds) moves onto
+//    the client side of that spoke, and the hub matches it on its side;
+//  * hub-hub trunk channels aggregate the funds of the original edges that
+//    crossed between the two hubs' client regions (consolidated liquidity);
+//    a spanning structure over hubs guarantees connectivity even if no
+//    original edge crossed.
+//
+// Non-chosen candidates become ordinary clients, assigned by the same
+// Lemma-1 rule.
+
+#include <vector>
+
+#include "pcn/network.h"
+#include "placement/types.h"
+
+namespace splicer::placement {
+
+struct TransformOptions {
+  /// Hub side of a client spoke = client liquidity * this factor ("hubs
+  /// perform many routes, have larger capital", paper SS V-B).
+  double hub_spoke_factor = 2.0;
+  /// Floor for each side of a trunk channel, in tokens, so that spanning
+  /// edges added purely for connectivity are usable.
+  double min_trunk_side_tokens = 200.0;
+  /// Each hub keeps at most this many trunk channels (its most liquid
+  /// ones); 0 = unlimited (complete crossing mesh). Maintaining O(z^2)
+  /// trunks is the "redundant channel" pattern Fig. 4 removes; a bounded
+  /// trunk degree also gives the hub mesh real path diversity.
+  std::size_t max_trunks_per_hub = 6;
+};
+
+struct TransformResult {
+  pcn::Network network;
+  /// Chosen hubs as topology node ids.
+  std::vector<graph::NodeId> hubs;
+  /// For every node: the hub managing it (hubs map to themselves).
+  std::vector<graph::NodeId> hub_of;
+  /// For every node: true if it is a hub.
+  std::vector<char> is_hub;
+};
+
+/// `source` must be the network the instance was built from (node ids are
+/// shared). The plan's assignment covers instance.clients; remaining nodes
+/// (unchosen candidates) are assigned by Lemma 1.
+[[nodiscard]] TransformResult build_multi_star(const pcn::Network& source,
+                                               const PlacementInstance& instance,
+                                               const PlacementPlan& plan,
+                                               const TransformOptions& options = {});
+
+/// Single-hub star (the A2L / TumbleBit baseline topology, Fig. 2(a)).
+/// `hub` defaults to the highest-degree node when kInvalidNode. The default
+/// options capitalise the tumbler at 0.75x each client's liquidity: a
+/// single operator pledges finite collateral, unlike Splicer's community-
+/// pledged multi-hub pool (paper trust model) - this is the "payment
+/// channel balance: no" row of the paper's Table I.
+[[nodiscard]] TransformResult build_single_star(
+    const pcn::Network& source, graph::NodeId hub = graph::kInvalidNode,
+    const TransformOptions& options = TransformOptions{0.75, 200.0});
+
+}  // namespace splicer::placement

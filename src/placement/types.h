@@ -1,0 +1,60 @@
+#pragma once
+
+// Data model for the PCH placement problem (paper SS III-C / SS IV-B).
+//
+//   x_n in {0,1}  - candidate n in V_SNC becomes an actual smooth node
+//   y_mn in {0,1} - client m in V_CLI is assigned to smooth node n
+//   zeta_mn  - management cost of assigning m to n        (eq. 3)
+//   delta_nl - per-client synchronisation cost between n,l (eq. 4)
+//   eps_nl   - constant synchronisation cost between n,l   (eq. 4)
+//   omega    - tradeoff weight                              (eq. 5)
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace splicer::placement {
+
+struct PlacementInstance {
+  /// Candidate smooth nodes (V_SNC) as topology node ids.
+  std::vector<graph::NodeId> candidates;
+  /// Clients (V_CLI) as topology node ids.
+  std::vector<graph::NodeId> clients;
+
+  /// zeta[m][n]: client index m (into `clients`) x candidate index n.
+  std::vector<std::vector<double>> zeta;
+  /// delta[n][l], epsilon[n][l]: candidate x candidate.
+  std::vector<std::vector<double>> delta;
+  std::vector<std::vector<double>> epsilon;
+
+  double omega = 0.1;
+
+  [[nodiscard]] std::size_t candidate_count() const noexcept { return candidates.size(); }
+  [[nodiscard]] std::size_t client_count() const noexcept { return clients.size(); }
+
+  /// Structural sanity (matrix shapes); throws std::invalid_argument.
+  void validate() const;
+};
+
+/// A solved placement: which candidates are smooth nodes, and per-client
+/// assignment. Indices refer to positions in the instance vectors.
+struct PlacementPlan {
+  std::vector<char> placed;             // size = candidate_count
+  std::vector<std::size_t> assignment;  // size = client_count; candidate index
+
+  [[nodiscard]] std::size_t hub_count() const noexcept {
+    std::size_t c = 0;
+    for (const char bit : placed) c += bit != 0;
+    return c;
+  }
+};
+
+/// Cost report for a plan (Fig. 9 plots these separately).
+struct CostBreakdown {
+  double management = 0.0;       // C_M (eq. 3)
+  double synchronization = 0.0;  // C_S (eq. 4)
+  double balance = 0.0;          // C_B = C_M + omega * C_S (eq. 5)
+};
+
+}  // namespace splicer::placement

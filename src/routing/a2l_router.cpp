@@ -1,0 +1,67 @@
+#include "routing/a2l_router.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "graph/metrics.h"
+
+namespace splicer::routing {
+
+A2lRouter::A2lRouter() : A2lRouter(Config{}) {}
+
+void A2lRouter::on_start(Engine& engine) {
+  hub_ = config_.hub != graph::kInvalidNode
+             ? config_.hub
+             : graph::nodes_by_degree(engine.network().topology()).front();
+  hub_busy_until_ = 0.0;
+}
+
+void A2lRouter::on_payment(Engine& engine, const pcn::Payment& payment) {
+  const auto& g = engine.network().topology();
+  const auto in_edge = g.find_edge(payment.sender, hub_);
+  const auto out_edge = g.find_edge(hub_, payment.receiver);
+  if (in_edge == graph::kInvalidEdge || out_edge == graph::kInvalidEdge) {
+    engine.fail_payment(payment.id, FailReason::kNoPath);
+    return;
+  }
+  // Phase-based tumbler: the puzzle-promise phase for this payment starts
+  // at the next epoch boundary; the hub's cryptographic pipeline then
+  // serialises payments.
+  const double boundary =
+      config_.epoch_s > 0.0
+          ? std::ceil(engine.now() / config_.epoch_s) * config_.epoch_s
+          : engine.now();
+  const double start = std::max(boundary, hub_busy_until_);
+  hub_busy_until_ = start + config_.hub_crypto_s;
+  if (hub_busy_until_ > payment.deadline) {
+    engine.fail_payment(payment.id, FailReason::kHubOverload);
+    return;
+  }
+  engine.counters().control_messages += 4;  // puzzle promise/solver exchange
+
+  graph::Path path;
+  path.nodes = {payment.sender, hub_, payment.receiver};
+  path.edges = {in_edge, out_edge};
+  path.length = 2.0;
+
+  engine.scheduler().after(hub_busy_until_ - engine.now(),
+                           [this, &engine, payment, path] {
+    if (!engine.payment_state(payment.id).active()) return;
+    TransactionUnit tu;
+    tu.payment = payment.id;
+    tu.value = payment.value;
+    tu.path = path;
+    tu.hop_amounts.assign(2, payment.value);
+    tu.deadline = payment.deadline;
+    engine.send_tu(std::move(tu));
+  });
+}
+
+void A2lRouter::on_tu_failed(Engine& engine, const TransactionUnit& tu,
+                             FailReason reason) {
+  (void)reason;
+  // Unsplit and atomic: the payment cannot complete.
+  engine.fail_payment(tu.payment, FailReason::kInsufficientFunds);
+}
+
+}  // namespace splicer::routing

@@ -1,0 +1,48 @@
+#pragma once
+
+// A2L (S&P '21) baseline: a single cryptographic payment channel hub.
+// Every payment is sender -> hub -> receiver in one hop each, atomically
+// and unsplit. The hub performs its anonymous-atomic-lock cryptography for
+// each payment, modelled as a fixed per-payment processing cost that
+// serialises at the hub - the scalability bottleneck the paper contrasts
+// against (A2L's TSR collapses as load and update time grow).
+
+#include <optional>
+
+#include "routing/engine.h"
+#include "routing/router.h"
+
+namespace splicer::routing {
+
+class A2lRouter final : public Router {
+ public:
+  struct Config {
+    /// Per-payment cryptographic processing time at the hub (puzzle
+    /// generation + randomisation + solving, per the A2L protocol).
+    double hub_crypto_s = 0.020;
+    /// Tumbler epoch: puzzle promises are issued at epoch boundaries
+    /// (TumbleBit/A2L are phase-based), so a payment first waits for the
+    /// next boundary. Benches tie this to the update time tau, which is
+    /// why A2L degrades fastest in the Fig. 7(c)/8(c) sweeps.
+    double epoch_s = 0.2;
+    /// Hub node; kInvalidNode = auto-detect (the star centre).
+    NodeId hub = graph::kInvalidNode;
+  };
+
+  A2lRouter();  // default configuration
+  explicit A2lRouter(Config config) : config_(config) {}
+
+  [[nodiscard]] std::string name() const override { return "A2L"; }
+
+  void on_start(Engine& engine) override;
+  void on_payment(Engine& engine, const pcn::Payment& payment) override;
+  void on_tu_failed(Engine& engine, const TransactionUnit& tu,
+                    FailReason reason) override;
+
+ private:
+  Config config_;
+  NodeId hub_ = graph::kInvalidNode;
+  double hub_busy_until_ = 0.0;
+};
+
+}  // namespace splicer::routing

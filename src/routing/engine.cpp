@@ -1,0 +1,364 @@
+#include "routing/engine.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace splicer::routing {
+
+const char* to_string(SchedulingPolicy policy) noexcept {
+  switch (policy) {
+    case SchedulingPolicy::kFifo: return "FIFO";
+    case SchedulingPolicy::kLifo: return "LIFO";
+    case SchedulingPolicy::kSpf: return "SPF";
+    case SchedulingPolicy::kEdf: return "EDF";
+  }
+  return "?";
+}
+
+const char* to_string(FailReason reason) noexcept {
+  switch (reason) {
+    case FailReason::kNoPath: return "no-path";
+    case FailReason::kInsufficientFunds: return "insufficient-funds";
+    case FailReason::kMarkedCongested: return "marked-congested";
+    case FailReason::kQueueOverflow: return "queue-overflow";
+    case FailReason::kTimeout: return "timeout";
+    case FailReason::kHubOverload: return "hub-overload";
+  }
+  return "?";
+}
+
+Engine::Engine(pcn::Network network, std::vector<pcn::Payment> payments,
+               Router& router, EngineConfig config)
+    : network_(std::move(network)),
+      payments_(std::move(payments)),
+      router_(router),
+      config_(config),
+      rng_(config.seed) {
+  directed_.resize(2 * network_.channel_count());
+  initial_funds_ = network_.total_funds();
+}
+
+EngineMetrics Engine::run() {
+  router_.on_start(*this);
+  schedule_arrivals();
+
+  double last_deadline = 0.0;
+  for (const auto& p : payments_) last_deadline = std::max(last_deadline, p.deadline);
+  const double hard_stop = last_deadline + config_.horizon_slack_s + 60.0;
+  scheduler_.run(hard_stop);
+
+  metrics_.simulated_seconds = scheduler_.now();
+  if (network_.total_funds() != initial_funds_) {
+    throw std::logic_error("Engine: funds-conservation violation");
+  }
+  return metrics_;
+}
+
+void Engine::schedule_arrivals() {
+  for (const auto& payment : payments_) {
+    scheduler_.at(payment.arrival_time, [this, payment] {
+      auto [it, inserted] = states_.emplace(payment.id, PaymentState{payment});
+      if (!inserted) throw std::logic_error("Engine: duplicate payment id");
+      ++metrics_.payments_generated;
+      metrics_.value_generated += payment.value;
+      // payreq over the secure channel + KMG key issuance.
+      metrics_.messages.control_messages += 2;
+      router_.on_payment(*this, payment);
+    });
+    scheduler_.at(payment.deadline,
+                  [this, id = payment.id] { on_payment_deadline(id); });
+  }
+}
+
+TuId Engine::send_tu(TransactionUnit tu) {
+  if (tu.path.edges.empty() || tu.hop_amounts.size() != tu.path.edges.size()) {
+    throw std::invalid_argument("Engine::send_tu: malformed TU");
+  }
+  if (tu.value <= 0) throw std::invalid_argument("Engine::send_tu: value <= 0");
+  tu.id = next_tu_id_++;
+  tu.next_hop = 0;
+  tu.created_at = scheduler_.now();
+  const TuId id = tu.id;
+
+  auto& state = payment_state(tu.payment);
+  state.in_flight += tu.value;
+
+  LiveTu live;
+  live.hop_locked.assign(tu.path.edges.size(), 0);
+  live.tu = std::move(tu);
+  live_.emplace(id, std::move(live));
+  ++metrics_.tus_sent;
+  attempt_hop(id);
+  return id;
+}
+
+PaymentState& Engine::payment_state(PaymentId id) {
+  const auto it = states_.find(id);
+  if (it == states_.end()) throw std::out_of_range("Engine: unknown payment");
+  return it->second;
+}
+
+void Engine::fail_payment(PaymentId id, FailReason reason) {
+  auto& state = payment_state(id);
+  if (!state.active()) return;
+  state.failed = true;
+  ++metrics_.payments_failed;
+  ++metrics_.payment_fail_reasons[static_cast<std::size_t>(reason)];
+  router_.on_payment_timeout(*this, id);
+}
+
+Amount Engine::queue_amount(ChannelId channel, pcn::Direction d) const {
+  return directed(channel, d).queued_value;
+}
+
+void Engine::attempt_hop(TuId id) {
+  auto it = live_.find(id);
+  if (it == live_.end()) return;  // already resolved
+  auto& live = it->second;
+  auto& tu = live.tu;
+  const std::size_t hop = tu.next_hop;
+  const ChannelId channel = tu.path.edges[hop];
+  const NodeId from = tu.path.nodes[hop];
+  auto& ch = network_.channel(channel);
+  const pcn::Direction d = ch.direction_from(from);
+  auto& ds = directed(channel, d);
+  const Amount amount = tu.hop_amounts[hop];
+
+  // Processing-rate limit (r_process, paper Alg. 2 line 10): processing
+  // capacity delays forwarding; in queue mode the TU takes a queue slot,
+  // in atomic mode it simply waits for the processor.
+  if (scheduler_.now() < ds.next_free) {
+    if (config_.queues_enabled) {
+      enqueue(id, channel, d);
+    } else {
+      scheduler_.at(ds.next_free, [this, id] { attempt_hop(id); });
+    }
+    return;
+  }
+  // Funds check (F_ab < |d_i|, same line).
+  if (!ch.lock(d, amount)) {
+    if (config_.queues_enabled) {
+      enqueue(id, channel, d);
+    } else {
+      fail_tu(id, FailReason::kInsufficientFunds);
+    }
+    return;
+  }
+  live.hop_locked[hop] = 1;
+  ds.next_free = std::max(scheduler_.now(), ds.next_free) +
+                 common::to_tokens(amount) / config_.process_rate_tokens_per_s;
+  ++metrics_.messages.data_hops;
+  router_.on_tu_forwarded(*this, tu, channel, d);
+  scheduler_.after(config_.hop_delay_s, [this, id] { arrive_next(id); });
+}
+
+void Engine::arrive_next(TuId id) {
+  const auto it = live_.find(id);
+  if (it == live_.end()) return;
+  auto& tu = it->second.tu;
+  ++tu.next_hop;
+  if (tu.next_hop == tu.path.edges.size()) {
+    deliver(id);
+  } else {
+    attempt_hop(id);
+  }
+}
+
+void Engine::deliver(TuId id) {
+  const auto it = live_.find(id);
+  if (it == live_.end()) return;
+  auto& live = it->second;
+  ++metrics_.tus_delivered;
+
+  auto& state = payment_state(live.tu.payment);
+  state.in_flight -= live.tu.value;
+  state.delivered += live.tu.value;
+  if (!state.failed && !state.completed && state.delivered >= state.payment.value) {
+    state.completed = true;
+    state.completion_time = scheduler_.now();
+    ++metrics_.payments_completed;
+    metrics_.value_completed += state.payment.value;
+    metrics_.total_completion_delay_s +=
+        scheduler_.now() - state.payment.arrival_time;
+    // Receipt ACK_tid forwarded back to the sender.
+    metrics_.messages.control_messages += 1;
+  }
+  settle_backwards(id);
+  const TransactionUnit tu_copy = live.tu;
+  router_.on_tu_delivered(*this, tu_copy);
+}
+
+void Engine::settle_backwards(TuId id) {
+  auto it = live_.find(id);
+  if (it == live_.end()) return;
+  auto& live = it->second;
+  const auto& tu = live.tu;
+  // The ack walks back from the destination, one hop per hop_delay,
+  // settling each lock into the receiving side.
+  const std::size_t hops = tu.path.edges.size();
+  double delay = config_.hop_delay_s;
+  for (std::size_t i = hops; i-- > 0;) {
+    if (!live.hop_locked[i]) continue;
+    const ChannelId channel = tu.path.edges[i];
+    const NodeId from = tu.path.nodes[i];
+    const Amount amount = tu.hop_amounts[i];
+    scheduler_.after(delay, [this, channel, from, amount] {
+      auto& ch = network_.channel(channel);
+      const pcn::Direction d = ch.direction_from(from);
+      ch.settle(d, amount);
+      ++metrics_.messages.ack_messages;
+      // The receiving side gained spendable funds: opposite direction.
+      drain_queue(channel, pcn::opposite(d));
+    });
+    delay += config_.hop_delay_s;
+  }
+  scheduler_.after(delay, [this, id] { live_.erase(id); });
+}
+
+void Engine::fail_tu(TuId id, FailReason reason) {
+  const auto it = live_.find(id);
+  if (it == live_.end()) return;
+  auto& state = payment_state(it->second.tu.payment);
+  state.in_flight -= it->second.tu.value;
+  ++metrics_.tus_failed;
+  ++metrics_.tu_fail_reasons[static_cast<std::size_t>(reason)];
+  if (reason == FailReason::kMarkedCongested) ++metrics_.tus_marked;
+  const TransactionUnit tu_copy = it->second.tu;
+  refund_backwards(id, reason);
+  router_.on_tu_failed(*this, tu_copy, reason);
+}
+
+void Engine::refund_backwards(TuId id, FailReason reason) {
+  (void)reason;
+  auto it = live_.find(id);
+  if (it == live_.end()) return;
+  auto& live = it->second;
+  const auto& tu = live.tu;
+  double delay = config_.hop_delay_s;
+  for (std::size_t i = tu.path.edges.size(); i-- > 0;) {
+    if (!live.hop_locked[i]) continue;
+    const ChannelId channel = tu.path.edges[i];
+    const NodeId from = tu.path.nodes[i];
+    const Amount amount = tu.hop_amounts[i];
+    scheduler_.after(delay, [this, channel, from, amount] {
+      auto& ch = network_.channel(channel);
+      const pcn::Direction d = ch.direction_from(from);
+      ch.refund(d, amount);
+      ++metrics_.messages.ack_messages;
+      // The payer side regained spendable funds: same direction.
+      drain_queue(channel, d);
+    });
+    delay += config_.hop_delay_s;
+  }
+  scheduler_.after(delay, [this, id] { live_.erase(id); });
+}
+
+void Engine::enqueue(TuId id, ChannelId channel, pcn::Direction d) {
+  auto& live = live_.at(id);
+  auto& ds = directed(channel, d);
+  const Amount amount = live.tu.hop_amounts[live.tu.next_hop];
+  if (ds.queued_value + amount > config_.queue_capacity) {
+    fail_tu(id, FailReason::kQueueOverflow);
+    return;
+  }
+  QueuedTu queued;
+  queued.id = id;
+  queued.enqueued_at = scheduler_.now();
+  // Congestion marking: if still queued after T, mark & abort (eq. 27 path).
+  queued.mark_event = scheduler_.after(
+      config_.queue_delay_threshold_s, [this, id, channel, d] {
+        auto& state = directed(channel, d);
+        const auto pos = std::find_if(
+            state.queue.begin(), state.queue.end(),
+            [id](const QueuedTu& q) { return q.id == id; });
+        if (pos == state.queue.end()) return;  // already drained
+        const auto live_it = live_.find(id);
+        if (live_it == live_.end()) return;
+        state.queued_value -= live_it->second.tu.hop_amounts[live_it->second.tu.next_hop];
+        state.queue.erase(pos);
+        live_it->second.tu.marked = true;
+        fail_tu(id, FailReason::kMarkedCongested);
+      });
+  ds.queued_value += amount;
+  ds.queue.push_back(queued);
+  // If blocked on the rate limiter, retry when the bucket frees up.
+  if (scheduler_.now() < ds.next_free) {
+    scheduler_.at(ds.next_free, [this, channel, d] { drain_queue(channel, d); });
+  }
+}
+
+std::size_t Engine::pick_from_queue(const DirectedState& state) const {
+  switch (config_.policy) {
+    case SchedulingPolicy::kFifo:
+      return 0;
+    case SchedulingPolicy::kLifo:
+      return state.queue.size() - 1;
+    case SchedulingPolicy::kSpf: {
+      std::size_t best = 0;
+      Amount best_value = 0;
+      for (std::size_t i = 0; i < state.queue.size(); ++i) {
+        const auto it = live_.find(state.queue[i].id);
+        const Amount v = it->second.tu.value;
+        if (i == 0 || v < best_value) {
+          best = i;
+          best_value = v;
+        }
+      }
+      return best;
+    }
+    case SchedulingPolicy::kEdf: {
+      std::size_t best = 0;
+      double best_deadline = 0.0;
+      for (std::size_t i = 0; i < state.queue.size(); ++i) {
+        const auto it = live_.find(state.queue[i].id);
+        const double dl = it->second.tu.deadline;
+        if (i == 0 || dl < best_deadline) {
+          best = i;
+          best_deadline = dl;
+        }
+      }
+      return best;
+    }
+  }
+  return 0;
+}
+
+void Engine::drain_queue(ChannelId channel, pcn::Direction d) {
+  auto& ds = directed(channel, d);
+  auto& ch = network_.channel(channel);
+  while (!ds.queue.empty()) {
+    if (scheduler_.now() < ds.next_free) {
+      scheduler_.at(ds.next_free, [this, channel, d] { drain_queue(channel, d); });
+      return;
+    }
+    const std::size_t index = pick_from_queue(ds);
+    const TuId id = ds.queue[index].id;
+    const auto live_it = live_.find(id);
+    if (live_it == live_.end()) {
+      // Stale entry (TU resolved elsewhere); drop it defensively.
+      ds.queue.erase(ds.queue.begin() + static_cast<std::ptrdiff_t>(index));
+      continue;
+    }
+    const Amount amount =
+        live_it->second.tu.hop_amounts[live_it->second.tu.next_hop];
+    if (ch.available(d) < amount) return;  // wait for the next settle/refund
+    scheduler_.cancel(ds.queue[index].mark_event);
+    ds.queue.erase(ds.queue.begin() + static_cast<std::ptrdiff_t>(index));
+    ds.queued_value -= amount;
+    attempt_hop(id);  // re-checks rate & funds; both were just verified
+  }
+}
+
+void Engine::on_payment_deadline(PaymentId id) {
+  const auto it = states_.find(id);
+  if (it == states_.end()) return;  // payment never arrived (should not happen)
+  auto& state = it->second;
+  if (!state.active()) return;
+  state.failed = true;
+  ++metrics_.payments_failed;
+  ++metrics_.payment_fail_reasons[static_cast<std::size_t>(FailReason::kTimeout)];
+  ++metrics_.messages.control_messages;  // withdraw notice
+  router_.on_payment_timeout(*this, id);
+}
+
+}  // namespace splicer::routing

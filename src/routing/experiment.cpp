@@ -1,0 +1,135 @@
+#include "routing/experiment.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "graph/generators.h"
+#include "placement/approx_solver.h"
+#include "placement/cost_model.h"
+#include "placement/exhaustive_solver.h"
+#include "routing/a2l_router.h"
+#include "routing/flash_router.h"
+#include "routing/landmark_router.h"
+#include "routing/shortest_path_router.h"
+#include "routing/spider_router.h"
+#include "routing/splicer_router.h"
+
+namespace splicer::routing {
+
+const char* to_string(Scheme scheme) noexcept {
+  switch (scheme) {
+    case Scheme::kSplicer: return "Splicer";
+    case Scheme::kSpider: return "Spider";
+    case Scheme::kFlash: return "Flash";
+    case Scheme::kLandmark: return "Landmark";
+    case Scheme::kA2l: return "A2L";
+    case Scheme::kShortestPath: return "ShortestPath";
+  }
+  return "?";
+}
+
+std::vector<Scheme> comparison_schemes() {
+  return {Scheme::kSplicer, Scheme::kSpider, Scheme::kFlash, Scheme::kLandmark,
+          Scheme::kA2l};
+}
+
+Scenario prepare_scenario(const ScenarioConfig& config) {
+  common::Rng rng(config.seed);
+  graph::Graph g =
+      config.topology.scale_free
+          ? graph::preferential_attachment(config.topology.nodes,
+                                           config.topology.ws_degree / 2, rng)
+          : graph::watts_strogatz(config.topology.nodes, config.topology.ws_degree,
+                                  config.topology.ws_beta, rng);
+
+  pcn::Network raw =
+      pcn::Network::with_sampled_funds(std::move(g), config.topology.fund_scale, rng);
+
+  placement::PlacementInstance instance = placement::build_instance_by_degree(
+      raw.topology(), config.placement.candidate_count, config.placement.omega);
+
+  placement::PlacementPlan plan;
+  if (config.placement.prefer_exact && config.placement.candidate_count <= 14) {
+    plan = placement::solve_exhaustive(instance).plan;
+  } else {
+    plan = placement::solve_approx(instance).plan;
+  }
+
+  placement::TransformResult multi_star =
+      placement::build_multi_star(raw, instance, plan);
+  placement::TransformResult single_star = placement::build_single_star(raw);
+
+  // Clients: nodes that are endpoints in every substrate - exclude Splicer
+  // hubs and the A2L hub so the same payments are routable everywhere.
+  std::vector<pcn::NodeId> clients;
+  for (pcn::NodeId v = 0; v < raw.node_count(); ++v) {
+    if (!multi_star.is_hub[v] && v != single_star.hubs.front()) {
+      clients.push_back(v);
+    }
+  }
+  if (clients.size() < 2) throw std::logic_error("prepare_scenario: too few clients");
+
+  std::vector<pcn::Payment> payments =
+      pcn::generate_payments(clients, config.workload, rng);
+
+  return Scenario{std::move(raw),       std::move(multi_star),
+                  std::move(single_star), std::move(instance),
+                  std::move(plan),      std::move(payments),
+                  std::move(clients)};
+}
+
+EngineMetrics run_scheme(const Scenario& scenario, Scheme scheme,
+                         SchemeConfig config) {
+  switch (scheme) {
+    case Scheme::kSplicer: {
+      config.engine.queues_enabled = true;
+      SplicerRouter::Config rc;
+      rc.protocol = config.protocol;
+      SplicerRouter router(scenario.multi_star.hub_of, scenario.multi_star.hubs, rc);
+      Engine engine(scenario.multi_star.network, scenario.payments, router,
+                    config.engine);
+      return engine.run();
+    }
+    case Scheme::kSpider: {
+      config.engine.queues_enabled = true;
+      SpiderRouter::Config rc;
+      rc.protocol = config.protocol;
+      // Spider's senders compute k shortest paths over the raw topology.
+      rc.protocol.path_type = graph::PathType::kEdgeDisjointShortest;
+      SpiderRouter router(rc);
+      Engine engine(scenario.raw, scenario.payments, router, config.engine);
+      return engine.run();
+    }
+    case Scheme::kFlash: {
+      config.engine.queues_enabled = false;
+      FlashRouter router;
+      Engine engine(scenario.raw, scenario.payments, router, config.engine);
+      return engine.run();
+    }
+    case Scheme::kLandmark: {
+      config.engine.queues_enabled = false;
+      LandmarkRouter router;
+      Engine engine(scenario.raw, scenario.payments, router, config.engine);
+      return engine.run();
+    }
+    case Scheme::kA2l: {
+      config.engine.queues_enabled = false;
+      A2lRouter::Config rc;
+      rc.hub = scenario.single_star.hubs.front();
+      rc.epoch_s = config.protocol.tau_s;  // tumbler phase = update time
+      A2lRouter router(rc);
+      Engine engine(scenario.single_star.network, scenario.payments, router,
+                    config.engine);
+      return engine.run();
+    }
+    case Scheme::kShortestPath: {
+      config.engine.queues_enabled = false;
+      ShortestPathRouter router;
+      Engine engine(scenario.raw, scenario.payments, router, config.engine);
+      return engine.run();
+    }
+  }
+  throw std::invalid_argument("run_scheme: unknown scheme");
+}
+
+}  // namespace splicer::routing

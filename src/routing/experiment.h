@@ -1,0 +1,78 @@
+#pragma once
+
+// Shared scenario preparation + scheme execution for the evaluation
+// harness. One Scenario fixes topology, channel funds, placement and the
+// payment workload; every scheme then runs against identical conditions
+// (the paper's Figs. 7/8 compare the five schemes on the same workloads).
+
+#include <cstdint>
+#include <vector>
+
+#include "pcn/network.h"
+#include "pcn/workload.h"
+#include "placement/topology_transform.h"
+#include "routing/engine.h"
+#include "routing/rate_protocol.h"
+
+namespace splicer::routing {
+
+enum class Scheme : std::uint8_t {
+  kSplicer,
+  kSpider,
+  kFlash,
+  kLandmark,
+  kA2l,
+  kShortestPath,
+};
+
+[[nodiscard]] const char* to_string(Scheme scheme) noexcept;
+
+/// The five schemes compared in Fig. 7 / Fig. 8.
+[[nodiscard]] std::vector<Scheme> comparison_schemes();
+
+struct TopologyConfig {
+  std::size_t nodes = 100;       // paper: 100 (small) / 3000 (large)
+  std::size_t ws_degree = 8;     // Watts-Strogatz ring degree
+  double ws_beta = 0.15;         // rewiring probability
+  double fund_scale = 1.0;       // Fig. 7(a)/8(a) channel-size sweep
+  bool scale_free = false;       // preferential attachment instead of WS
+};
+
+struct PlacementSetup {
+  std::size_t candidate_count = 10;
+  double omega = 0.1;
+  /// Exhaustive (exact) placement when candidate_count permits; otherwise
+  /// the supermodular double greedy (paper Alg. 1).
+  bool prefer_exact = true;
+};
+
+struct ScenarioConfig {
+  TopologyConfig topology;
+  PlacementSetup placement;
+  pcn::WorkloadConfig workload;
+  std::uint64_t seed = 42;
+};
+
+/// Prepared shared state for one evaluation point.
+struct Scenario {
+  pcn::Network raw;                          // source-routing substrate
+  placement::TransformResult multi_star;     // Splicer substrate
+  placement::TransformResult single_star;    // A2L substrate
+  placement::PlacementInstance instance;
+  placement::PlacementPlan plan;
+  std::vector<pcn::Payment> payments;
+  std::vector<pcn::NodeId> clients;
+};
+
+[[nodiscard]] Scenario prepare_scenario(const ScenarioConfig& config);
+
+struct SchemeConfig {
+  EngineConfig engine;
+  RateProtocolConfig protocol;
+};
+
+/// Runs `scheme` over the scenario (fresh network copy each run).
+[[nodiscard]] EngineMetrics run_scheme(const Scenario& scenario, Scheme scheme,
+                                       SchemeConfig config = {});
+
+}  // namespace splicer::routing

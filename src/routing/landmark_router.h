@@ -1,0 +1,53 @@
+#pragma once
+
+// Landmark routing baseline (used by Flare/SilentWhispers/SpeedyMurmurs-
+// style schemes, paper SS V-B): k well-connected landmark nodes; each
+// payment travels sender -> landmark_i -> receiver along shortest paths,
+// one equal value chunk per landmark, sent atomically with no retries.
+
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "routing/engine.h"
+#include "routing/router.h"
+
+namespace splicer::routing {
+
+class LandmarkRouter final : public Router {
+ public:
+  struct Config {
+    std::size_t landmark_count = 5;
+    /// One retry of a failed chunk via a different landmark keeps the
+    /// baseline from degenerating (prior landmark schemes re-route on
+    /// failure); the payment still dies if the retry fails.
+    std::size_t chunk_retries = 1;
+  };
+
+  LandmarkRouter() : LandmarkRouter(Config{}) {}
+  explicit LandmarkRouter(Config config) : config_(config) {}
+
+  [[nodiscard]] std::string name() const override { return "Landmark"; }
+
+  void on_start(Engine& engine) override;
+  void on_payment(Engine& engine, const pcn::Payment& payment) override;
+  void on_tu_failed(Engine& engine, const TransactionUnit& tu,
+                    FailReason reason) override;
+
+  /// Exposed for tests: the via-landmark path with loops pruned.
+  [[nodiscard]] static graph::Path prune_loops(const graph::Path& path);
+
+ private:
+  [[nodiscard]] std::optional<graph::Path> via_landmark(const Engine& engine,
+                                                        std::size_t landmark_index,
+                                                        NodeId from, NodeId to) const;
+
+  Config config_;
+  std::vector<NodeId> landmarks_;
+  // Per landmark: BFS parent forest (parent node + connecting edge).
+  std::vector<std::vector<NodeId>> parent_;
+  std::vector<std::vector<graph::EdgeId>> parent_edge_;
+  std::unordered_map<PaymentId, std::size_t> retries_left_;
+};
+
+}  // namespace splicer::routing

@@ -1,0 +1,327 @@
+#include "routing/rate_protocol.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace splicer::routing {
+
+void RateRouterBase::on_start(Engine& engine) {
+  prices_.assign(engine.network().channel_count(), ChannelPrices{});
+  horizon_end_ = 0.0;
+  for (const auto& p : engine.payments()) {
+    horizon_end_ = std::max(horizon_end_, p.deadline);
+  }
+  horizon_end_ += 0.5;
+  engine.scheduler().every(config_.tau_s, [this, &engine] {
+    if (engine.now() > horizon_end_) return false;
+    update_prices(engine);
+    probe_pairs(engine);
+    on_tick(engine);
+    return true;
+  });
+}
+
+void RateRouterBase::on_payment(Engine& engine, const pcn::Payment& payment) {
+  const double delay = decision_delay(engine, payment);
+  if (delay <= 0.0) {
+    admit_demand(engine, payment);
+  } else {
+    engine.scheduler().after(delay, [this, &engine, payment] {
+      admit_demand(engine, payment);
+    });
+  }
+}
+
+void RateRouterBase::admit_demand(Engine& engine, const pcn::Payment& payment) {
+  if (!engine.payment_state(payment.id).active()) return;  // already timed out
+  const PairKey pair = pair_of(engine, payment);
+  PairState* ps = ensure_pair(engine, pair);
+  if (ps == nullptr || ps->paths.empty()) {
+    engine.fail_payment(payment.id, FailReason::kNoPath);
+    return;
+  }
+  pair_of_payment_[payment.id] = pair;
+  ps->demands.push_back(DemandEntry{payment.id, payment.value});
+  for (std::size_t i = 0; i < ps->paths.size(); ++i) {
+    schedule_drip(engine, pair, i);
+  }
+}
+
+RateRouterBase::PairState* RateRouterBase::ensure_pair(Engine& engine,
+                                                       const PairKey& pair) {
+  const auto it = pairs_.find(pair);
+  if (it != pairs_.end()) return &it->second;
+
+  PairState state;
+  const std::vector<graph::Path> pair_paths = compute_pair_paths(engine, pair);
+  state.paths.reserve(pair_paths.size());
+  for (const auto& p : pair_paths) {
+    auto full = assemble_path(engine, pair.from, pair.to, p);
+    if (!full || full->edges.empty()) continue;
+    PathState path_state;
+    // Capacity constraint (eq. 18): the sustained rate on a channel cannot
+    // exceed c_ab / Delta; start at most there.
+    double bottleneck = std::numeric_limits<double>::infinity();
+    for (const ChannelId e : full->edges) {
+      bottleneck = std::min(
+          bottleneck, common::to_tokens(engine.network().channel(e).capacity()));
+    }
+    const double capacity_rate = bottleneck / std::max(config_.delta_rtt_s, 1e-6);
+    path_state.full_path = std::move(*full);
+    path_state.rate_tps = std::min(config_.initial_rate_tps, capacity_rate);
+    path_state.window = config_.initial_window;
+    state.paths.push_back(std::move(path_state));
+  }
+  if (state.paths.empty()) return nullptr;
+  return &pairs_.emplace(pair, std::move(state)).first->second;
+}
+
+std::vector<graph::Path> RateRouterBase::compute_pair_paths(
+    Engine& engine, const PairKey& pair) const {
+  return graph::select_paths(engine.network().topology(), pair.from, pair.to,
+                             config_.k_paths, config_.path_type);
+}
+
+void RateRouterBase::update_prices(Engine& engine) {
+  // Eqs. (21)-(22), applied every tau to every channel.
+  auto& network = engine.network();
+  for (ChannelId c = 0; c < network.channel_count(); ++c) {
+    auto& p = prices_[c];
+    const double capacity_tokens = common::to_tokens(network.channel(c).capacity());
+    // Funds required to sustain the current arrival rates for one lock
+    // duration Delta (n_a + n_b of eq. 21).
+    const double scale = config_.delta_rtt_s / config_.tau_s;
+    const double required =
+        (p.arrived_tokens[0] + p.arrived_tokens[1]) * scale;
+    const double cap = std::max(capacity_tokens, 1e-9);
+    p.lambda = std::clamp(
+        p.lambda + config_.kappa * (required - capacity_tokens) / cap, 0.0,
+        config_.max_price);
+    // Imbalance urgency: the same net drain matters in proportion to the
+    // funds remaining on the side being drained - the quantity the balance
+    // constraint (eq. 19) ultimately protects. The cap/3 ceiling engages
+    // the brake while headroom still exists (a side holding most of the
+    // channel is not "safe" if the drain rate empties it within seconds).
+    const auto& ch = network.channel(c);
+    const double imbalance_tokens = p.arrived_tokens[0] - p.arrived_tokens[1];
+    const double floor_tokens = 0.01 * cap;
+    const double draining_side = common::to_tokens(
+        ch.available(imbalance_tokens >= 0 ? pcn::Direction::kForward
+                                           : pcn::Direction::kBackward));
+    const double normaliser =
+        std::clamp(draining_side, floor_tokens, cap / 3.0);
+    const double urgency = imbalance_tokens / normaliser;
+    p.mu[0] = std::clamp(p.mu[0] + config_.eta * urgency, 0.0, config_.max_price);
+    p.mu[1] = std::clamp(p.mu[1] - config_.eta * urgency, 0.0, config_.max_price);
+    p.lambda *= config_.price_decay;
+    p.mu[0] *= config_.price_decay;
+    p.mu[1] *= config_.price_decay;
+    p.arrived_tokens[0] = 0.0;
+    p.arrived_tokens[1] = 0.0;
+  }
+}
+
+double RateRouterBase::channel_price(ChannelId channel, pcn::Direction d) const {
+  const auto& p = prices_.at(channel);
+  const auto di = pcn::dir_index(d);
+  return std::max(0.0, 2.0 * p.lambda + p.mu[di] - p.mu[1 - di]);
+}
+
+double RateRouterBase::fee_rate(ChannelId channel, pcn::Direction d) const {
+  return std::min(config_.fee_rate_cap, config_.t_fee * channel_price(channel, d));
+}
+
+void RateRouterBase::probe_pairs(Engine& engine) {
+  auto& network = engine.network();
+  for (auto& [pair, state] : pairs_) {
+    // Probe messages are only sent on paths that carry or await traffic,
+    // but the rate state always integrates the latest prices.
+    bool active = !state.demands.empty();
+    for (const auto& path : state.paths) active = active || path.outstanding > 0;
+    const double total_rate = std::max(total_pair_rate(state), 1e-9);
+    for (auto& path : state.paths) {
+      // Probe: sum xi along the full path (eq. 25).
+      double price = 0.0;
+      for (std::size_t i = 0; i < path.full_path.edges.size(); ++i) {
+        const ChannelId e = path.full_path.edges[i];
+        const auto d =
+            network.channel(e).direction_from(path.full_path.nodes[i]);
+        price += channel_price(e, d);
+      }
+      price *= (1.0 + config_.t_fee);
+      path.price = price;
+      if (active) engine.counters().probe_messages += path.full_path.edges.size();
+      // Eq. (26): r_p += alpha (U'(r) - rho_p) with U = log.
+      const double gradient = 1.0 / total_rate - price;
+      path.rate_tps = std::clamp(path.rate_tps + config_.alpha * gradient,
+                                 config_.min_rate_tps, config_.max_rate_tps);
+      if (!state.demands.empty()) {
+        schedule_drip(engine, pair, static_cast<std::size_t>(&path - state.paths.data()));
+      }
+    }
+  }
+}
+
+std::vector<RateRouterBase::PathDiagnostics> RateRouterBase::pair_diagnostics(
+    NodeId from, NodeId to) const {
+  std::vector<PathDiagnostics> out;
+  const auto it = pairs_.find(PairKey{from, to});
+  if (it == pairs_.end()) return out;
+  for (const auto& path : it->second.paths) {
+    out.push_back(PathDiagnostics{path.rate_tps, path.window, path.price,
+                                  path.outstanding, path.full_path.edges.size()});
+  }
+  return out;
+}
+
+double RateRouterBase::total_pair_rate(const PairState& pair) const {
+  double total = 0.0;
+  for (const auto& path : pair.paths) total += path.rate_tps;
+  return total;
+}
+
+std::vector<Amount> RateRouterBase::fee_schedule(const graph::Path& path,
+                                                 Amount value,
+                                                 const Engine& engine) const {
+  // hop_amounts[i] = value + downstream fees; fees follow eq. (24) with the
+  // current fee rates, charged on the forwarded amount.
+  std::vector<Amount> amounts(path.edges.size());
+  Amount carry = value;
+  const auto& network = engine.network();
+  for (std::size_t i = path.edges.size(); i-- > 0;) {
+    amounts[i] = carry;
+    if (i == 0) break;
+    const ChannelId e = path.edges[i];
+    const auto d = network.channel(e).direction_from(path.nodes[i]);
+    const double rate = fee_rate(e, d);
+    const auto fee = static_cast<Amount>(
+        std::llround(rate * static_cast<double>(carry)));
+    carry += std::max<Amount>(fee, 0);
+  }
+  return amounts;
+}
+
+void RateRouterBase::schedule_drip(Engine& engine, const PairKey& pair,
+                                   std::size_t path_index) {
+  auto& state = pairs_.at(pair);
+  auto& path = state.paths[path_index];
+  if (path.drip_scheduled) return;
+  if (engine.now() > horizon_end_) return;
+  path.drip_scheduled = true;
+  const double delay =
+      std::max(0.0, path.earliest_send(config_.min_rate_tps) - engine.now());
+  engine.scheduler().after(delay, [this, &engine, pair, path_index] {
+    pairs_.at(pair).paths[path_index].drip_scheduled = false;
+    try_send(engine, pair, path_index);
+  });
+}
+
+void RateRouterBase::try_send(Engine& engine, const PairKey& pair,
+                              std::size_t path_index) {
+  auto& state = pairs_.at(pair);
+  auto& path = state.paths[path_index];
+  if (engine.now() > horizon_end_) return;
+  if (engine.now() + 1e-12 < path.earliest_send(config_.min_rate_tps)) {
+    schedule_drip(engine, pair, path_index);  // pacing not yet satisfied
+    return;
+  }
+  if (path.outstanding >= static_cast<std::size_t>(
+                              std::max(1.0, std::floor(path.window)))) {
+    return;  // window-bound; re-armed on delivery/failure
+  }
+  // Pop exhausted/inactive demands.
+  while (!state.demands.empty()) {
+    const auto& front = state.demands.front();
+    if (front.remaining <= 0 || !engine.payment_state(front.payment).active()) {
+      state.demands.pop_front();
+      continue;
+    }
+    break;
+  }
+  if (state.demands.empty()) return;
+  auto& entry = state.demands.front();
+  const auto& payment_state = engine.payment_state(entry.payment);
+
+  // TU sizing: Min-TU <= |d_i| <= Max-TU, avoiding a sub-Min-TU crumb.
+  Amount tu_value;
+  if (entry.remaining <= config_.max_tu) {
+    tu_value = entry.remaining;
+  } else if (entry.remaining - config_.max_tu < config_.min_tu) {
+    tu_value = entry.remaining - config_.min_tu;
+  } else {
+    tu_value = config_.max_tu;
+  }
+  tu_value = std::max<Amount>(tu_value, 1);
+
+  auto hop_amounts = fee_schedule(path.full_path, tu_value, engine);
+  if (!admit_tu(engine, path.full_path, hop_amounts)) {
+    // Downstream funds are short (F_ab < |d_i|): hold at the source and
+    // retry shortly instead of locking a doomed HTLC chain.
+    path.hold_until = std::max(path.hold_until, engine.now() + 0.05);
+    schedule_drip(engine, pair, path_index);
+    return;
+  }
+
+  TransactionUnit tu;
+  tu.payment = entry.payment;
+  tu.value = tu_value;
+  tu.path = path.full_path;
+  tu.hop_amounts = std::move(hop_amounts);
+  tu.deadline = payment_state.payment.deadline;
+  tu.path_index = path_index;
+  entry.remaining -= tu_value;
+  ++path.outstanding;
+  engine.send_tu(std::move(tu));
+
+  path.last_send = engine.now();
+  path.last_tu_tokens = common::to_tokens(tu_value);
+  schedule_drip(engine, pair, path_index);
+}
+
+void RateRouterBase::on_tu_delivered(Engine& engine, const TransactionUnit& tu) {
+  const auto it = pair_of_payment_.find(tu.payment);
+  if (it == pair_of_payment_.end()) return;
+  auto& state = pairs_.at(it->second);
+  auto& path = state.paths[tu.path_index];
+  if (path.outstanding > 0) --path.outstanding;
+  // Eq. (28): window grows by gamma / sum of the pair's windows.
+  double window_sum = 0.0;
+  for (const auto& p : state.paths) window_sum += p.window;
+  path.window = std::clamp(path.window + config_.gamma / std::max(window_sum, 1e-9),
+                           config_.min_window, config_.max_window);
+  schedule_drip(engine, it->second, tu.path_index);
+}
+
+void RateRouterBase::on_tu_failed(Engine& engine, const TransactionUnit& tu,
+                                  FailReason reason) {
+  const auto it = pair_of_payment_.find(tu.payment);
+  if (it == pair_of_payment_.end()) return;
+  const PairKey pair = it->second;
+  auto& state = pairs_.at(pair);
+  auto& path = state.paths[tu.path_index];
+  if (path.outstanding > 0) --path.outstanding;
+  if (reason == FailReason::kMarkedCongested ||
+      reason == FailReason::kQueueOverflow) {
+    // Eq. (27): the aborted TU shrinks the window by beta.
+    path.window = std::clamp(path.window - config_.beta, config_.min_window,
+                             config_.max_window);
+  }
+  // Unserved value is retried (front of the queue) while the deadline holds.
+  auto& payment_state = engine.payment_state(tu.payment);
+  if (payment_state.active() && engine.now() < payment_state.payment.deadline) {
+    state.demands.push_front(DemandEntry{tu.payment, tu.value});
+  }
+  for (std::size_t i = 0; i < state.paths.size(); ++i) {
+    schedule_drip(engine, pair, i);
+  }
+}
+
+void RateRouterBase::on_tu_forwarded(Engine& engine, const TransactionUnit& tu,
+                                     ChannelId channel, pcn::Direction direction) {
+  (void)engine;
+  // m_a accumulation for eq. (22): value arriving into this direction.
+  prices_.at(channel).arrived_tokens[pcn::dir_index(direction)] +=
+      common::to_tokens(tu.hop_amounts[tu.next_hop]);
+}
+
+}  // namespace splicer::routing

@@ -1,0 +1,108 @@
+#pragma once
+
+// Router strategy interface and the transaction-unit (TU) model shared by
+// the simulation engine and every routing scheme.
+//
+// The engine executes mechanics (HTLC locks hop by hop, acks, waiting
+// queues, congestion marking, deadlines, metrics); a Router decides policy
+// (paths, splitting, rates, windows, retries) through the hooks below.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+#include "pcn/types.h"
+#include "pcn/workload.h"
+
+namespace splicer::routing {
+
+using pcn::Amount;
+using pcn::ChannelId;
+using pcn::NodeId;
+using pcn::PaymentId;
+using pcn::TuId;
+
+/// Waiting-queue service orders evaluated in Table II.
+enum class SchedulingPolicy : std::uint8_t {
+  kFifo,  // first in, first out
+  kLifo,  // last in, first out (the paper's pick: serves txns far from deadline)
+  kSpf,   // smallest payment first
+  kEdf,   // earliest deadline first
+};
+
+[[nodiscard]] const char* to_string(SchedulingPolicy policy) noexcept;
+
+enum class FailReason : std::uint8_t {
+  kNoPath,             // router found no usable path
+  kInsufficientFunds,  // atomic lock failed mid-path
+  kMarkedCongested,    // queued past the delay threshold T and marked
+  kQueueOverflow,      // channel waiting queue full (q_amount bound)
+  kTimeout,            // payment deadline passed
+  kHubOverload,        // hub processing backlog (A2L crypto cost model)
+};
+
+[[nodiscard]] const char* to_string(FailReason reason) noexcept;
+
+/// One transaction unit (paper: TU with fresh tuid). hop_amounts[i] is the
+/// amount locked on the i-th path edge; it exceeds the delivered value by
+/// the downstream forwarding fees (paper eq. 24).
+struct TransactionUnit {
+  TuId id = 0;
+  PaymentId payment = 0;
+  Amount value = 0;  // value delivered at the destination
+  graph::Path path;
+  std::vector<Amount> hop_amounts;
+  std::size_t next_hop = 0;  // index of the edge about to be locked
+  bool marked = false;
+  double created_at = 0.0;
+  double deadline = 0.0;
+  std::size_t path_index = 0;  // which of its payment's k paths
+};
+
+class Engine;
+
+class Router {
+ public:
+  virtual ~Router() = default;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  /// Called once before the first event; set up timers and caches here.
+  virtual void on_start(Engine& engine) { (void)engine; }
+
+  /// A client's payment request reaches its routing decision point.
+  virtual void on_payment(Engine& engine, const pcn::Payment& payment) = 0;
+
+  /// All hops of this TU settled at the destination.
+  virtual void on_tu_delivered(Engine& engine, const TransactionUnit& tu) {
+    (void)engine;
+    (void)tu;
+  }
+
+  /// The TU was unwound (never reaches the destination).
+  virtual void on_tu_failed(Engine& engine, const TransactionUnit& tu,
+                            FailReason reason) {
+    (void)engine;
+    (void)tu;
+    (void)reason;
+  }
+
+  /// A TU locked funds on (channel, direction); rate-based routers
+  /// accumulate the per-direction arrival counters m_a here (eq. 22).
+  virtual void on_tu_forwarded(Engine& engine, const TransactionUnit& tu,
+                               ChannelId channel, pcn::Direction direction) {
+    (void)engine;
+    (void)tu;
+    (void)channel;
+    (void)direction;
+  }
+
+  /// The payment's deadline fired without full delivery.
+  virtual void on_payment_timeout(Engine& engine, PaymentId payment) {
+    (void)engine;
+    (void)payment;
+  }
+};
+
+}  // namespace splicer::routing

@@ -1,0 +1,34 @@
+#include "routing/shortest_path_router.h"
+
+#include "graph/shortest_path.h"
+
+namespace splicer::routing {
+
+void ShortestPathRouter::on_payment(Engine& engine, const pcn::Payment& payment) {
+  const auto key = std::make_pair(payment.sender, payment.receiver);
+  auto it = cache_.find(key);
+  if (it == cache_.end()) {
+    auto p = graph::shortest_path(engine.network().topology(), payment.sender,
+                                  payment.receiver);
+    if (!p || p->edges.empty()) {
+      engine.fail_payment(payment.id, FailReason::kNoPath);
+      return;
+    }
+    it = cache_.emplace(key, std::move(*p)).first;
+  }
+  TransactionUnit tu;
+  tu.payment = payment.id;
+  tu.value = payment.value;
+  tu.path = it->second;
+  tu.hop_amounts.assign(it->second.edges.size(), payment.value);
+  tu.deadline = payment.deadline;
+  engine.send_tu(std::move(tu));
+}
+
+void ShortestPathRouter::on_tu_failed(Engine& engine, const TransactionUnit& tu,
+                                      FailReason reason) {
+  (void)reason;
+  engine.fail_payment(tu.payment, FailReason::kInsufficientFunds);
+}
+
+}  // namespace splicer::routing

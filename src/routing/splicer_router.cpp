@@ -1,0 +1,109 @@
+#include "routing/splicer_router.h"
+
+#include <stdexcept>
+
+namespace splicer::routing {
+
+SplicerRouter::SplicerRouter(std::vector<NodeId> hub_of, std::vector<NodeId> hubs)
+    : SplicerRouter(std::move(hub_of), std::move(hubs), Config{}) {}
+
+SplicerRouter::SplicerRouter(std::vector<NodeId> hub_of, std::vector<NodeId> hubs,
+                             Config config)
+    : RateRouterBase(config.protocol),
+      hub_of_(std::move(hub_of)),
+      hubs_(std::move(hubs)),
+      config_(config) {
+  if (hubs_.empty()) throw std::invalid_argument("SplicerRouter: no hubs");
+}
+
+void SplicerRouter::on_start(Engine& engine) {
+  RateRouterBase::on_start(engine);
+  // Epoch synchronisation (Fig. 5 step 1): every hub exchanges the final
+  // global information of the last epoch with every other hub.
+  double horizon = 0.0;
+  for (const auto& p : engine.payments()) horizon = std::max(horizon, p.deadline);
+  const double horizon_end = horizon + 0.5;
+  const auto z = hubs_.size();
+  engine.scheduler().every(config_.epoch_s, [&engine, z, horizon_end] {
+    if (engine.now() > horizon_end) return false;
+    engine.counters().sync_messages += z * (z - 1);
+    return true;
+  });
+}
+
+RateRouterBase::PairKey SplicerRouter::pair_of(const Engine& engine,
+                                               const pcn::Payment& payment) const {
+  (void)engine;
+  return PairKey{payment.sender, payment.receiver};
+}
+
+std::vector<graph::Path> SplicerRouter::compute_pair_paths(
+    Engine& engine, const PairKey& pair) const {
+  const NodeId hub_s = hub_of_.at(pair.from);
+  const NodeId hub_e = hub_of_.at(pair.to);
+  const auto key = std::make_pair(hub_s, hub_e);
+  const auto it = hub_path_cache_.find(key);
+  if (it != hub_path_cache_.end()) return it->second;
+
+  std::vector<graph::Path> paths;
+  if (hub_s == hub_e) {
+    // Both clients on one hub: the hub segment is the hub itself.
+    graph::Path trivial;
+    trivial.nodes.push_back(hub_s);
+    paths.push_back(std::move(trivial));
+  } else {
+    paths = graph::select_paths(engine.network().topology(), hub_s, hub_e,
+                                protocol_config().k_paths,
+                                protocol_config().path_type);
+  }
+  hub_path_cache_.emplace(key, paths);
+  return paths;
+}
+
+bool SplicerRouter::admit_tu(Engine& engine, const graph::Path& path,
+                             const std::vector<Amount>& hop_amounts) {
+  if (!protocol_config().source_gating) return true;
+  const auto& network = engine.network();
+  for (std::size_t i = 0; i < path.edges.size(); ++i) {
+    const auto& ch = network.channel(path.edges[i]);
+    if (ch.available(ch.direction_from(path.nodes[i])) < hop_amounts[i]) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::optional<graph::Path> SplicerRouter::assemble_path(
+    Engine& engine, NodeId from, NodeId to, const graph::Path& pair_path) const {
+  const auto& g = engine.network().topology();
+  const NodeId hub_s = hub_of_.at(from);
+  const NodeId hub_e = hub_of_.at(to);
+
+  graph::Path full;
+  // Sender spoke (skipped when the sender is itself the hub).
+  if (from != hub_s) {
+    const auto spoke = g.find_edge(from, hub_s);
+    if (spoke == graph::kInvalidEdge) return std::nullopt;
+    full.nodes.push_back(from);
+    full.edges.push_back(spoke);
+  }
+  // Hub segment.
+  if (pair_path.nodes.empty() || pair_path.nodes.front() != hub_s ||
+      pair_path.nodes.back() != hub_e) {
+    return std::nullopt;
+  }
+  full.nodes.insert(full.nodes.end(), pair_path.nodes.begin(), pair_path.nodes.end());
+  full.edges.insert(full.edges.end(), pair_path.edges.begin(), pair_path.edges.end());
+  // Receiver spoke.
+  if (to != hub_e) {
+    const auto spoke = g.find_edge(hub_e, to);
+    if (spoke == graph::kInvalidEdge) return std::nullopt;
+    full.nodes.push_back(to);
+    full.edges.push_back(spoke);
+  }
+  full.length = static_cast<double>(full.edges.size());
+  if (full.edges.empty()) return std::nullopt;  // degenerate: from == to
+  return full;
+}
+
+}  // namespace splicer::routing

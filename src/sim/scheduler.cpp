@@ -1,0 +1,56 @@
+#include "sim/scheduler.h"
+
+#include <utility>
+
+namespace splicer::sim {
+
+Scheduler::EventId Scheduler::at(Time when, Callback callback) {
+  const EventId id = next_id_++;
+  queue_.push(Event{when < now_ ? now_ : when, id, std::move(callback)});
+  ++live_count_;
+  return id;
+}
+
+bool Scheduler::cancel(EventId id) {
+  if (id == 0 || id >= next_id_) return false;
+  const bool inserted = cancelled_.insert(id).second;
+  if (inserted && live_count_ > 0) --live_count_;
+  return inserted;
+}
+
+void Scheduler::every(Time period, std::function<bool()> callback) {
+  after(period, [this, period, cb = std::move(callback)]() mutable {
+    if (cb()) every(period, std::move(cb));
+  });
+}
+
+bool Scheduler::step() {
+  while (!queue_.empty()) {
+    // priority_queue::top is const; move via const_cast is the standard
+    // workaround and safe because we pop immediately.
+    Event event = std::move(const_cast<Event&>(queue_.top()));
+    queue_.pop();
+    const auto it = cancelled_.find(event.id);
+    if (it != cancelled_.end()) {
+      cancelled_.erase(it);
+      continue;  // skip cancelled without counting it as executed
+    }
+    --live_count_;
+    now_ = event.when;
+    event.callback();
+    return true;
+  }
+  return false;
+}
+
+std::size_t Scheduler::run(Time until, std::size_t max_events) {
+  std::size_t executed = 0;
+  while (executed < max_events && !queue_.empty()) {
+    // Peek next live event time without executing past `until`.
+    if (queue_.top().when > until) break;
+    if (step()) ++executed;
+  }
+  return executed;
+}
+
+}  // namespace splicer::sim

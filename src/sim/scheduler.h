@@ -1,0 +1,74 @@
+#pragma once
+
+// Deterministic discrete-event scheduler. Events fire in (time, sequence)
+// order, so two events at the same timestamp execute in scheduling order -
+// runs are bit-reproducible given the same seed and call sequence. This is
+// the substitute substrate for the paper's LND-testnet deployment (see
+// DESIGN.md substitution table).
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+namespace splicer::sim {
+
+using Time = double;  // seconds
+
+class Scheduler {
+ public:
+  using Callback = std::function<void()>;
+  using EventId = std::uint64_t;
+
+  [[nodiscard]] Time now() const noexcept { return now_; }
+
+  /// Schedules at absolute time (clamped to now if in the past).
+  EventId at(Time when, Callback callback);
+
+  /// Schedules `delay` seconds from now (delay < 0 clamps to 0).
+  EventId after(Time delay, Callback callback) {
+    return at(now_ + delay, std::move(callback));
+  }
+
+  /// Cancels a pending event; returns false if already fired/cancelled.
+  bool cancel(EventId id);
+
+  /// Schedules `callback` every `period` seconds starting at now+period,
+  /// until it returns false.
+  void every(Time period, std::function<bool()> callback);
+
+  [[nodiscard]] bool empty() const noexcept { return live_count_ == 0; }
+  [[nodiscard]] std::size_t pending() const noexcept { return live_count_; }
+
+  /// Executes the next event; returns false if none remain.
+  bool step();
+
+  /// Runs until the queue drains, `until` is passed, or `max_events` fire.
+  /// Returns the number of events executed.
+  std::size_t run(Time until = kForever, std::size_t max_events = kUnlimited);
+
+  static constexpr Time kForever = 1e100;
+  static constexpr std::size_t kUnlimited = ~std::size_t{0};
+
+ private:
+  struct Event {
+    Time when;
+    EventId id;
+    Callback callback;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.when != b.when) return a.when > b.when;
+      return a.id > b.id;
+    }
+  };
+
+  Time now_ = 0.0;
+  EventId next_id_ = 1;
+  std::size_t live_count_ = 0;
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  std::unordered_set<EventId> cancelled_;  // lazily dropped on pop
+};
+
+}  // namespace splicer::sim

@@ -1,0 +1,42 @@
+#include "splicer/demand_codec.h"
+
+namespace splicer::core {
+
+namespace {
+void put_u32(crypto::Bytes& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+void put_u64(crypto::Bytes& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+std::uint32_t get_u32(const crypto::Bytes& in, std::size_t at) {
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v |= static_cast<std::uint32_t>(in[at + i]) << (8 * i);
+  return v;
+}
+std::uint64_t get_u64(const crypto::Bytes& in, std::size_t at) {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(in[at + i]) << (8 * i);
+  return v;
+}
+}  // namespace
+
+crypto::Bytes encode_demand(const PaymentDemand& demand) {
+  crypto::Bytes out;
+  out.reserve(16);
+  put_u32(out, demand.sender);
+  put_u32(out, demand.receiver);
+  put_u64(out, static_cast<std::uint64_t>(demand.value));
+  return out;
+}
+
+std::optional<PaymentDemand> decode_demand(const crypto::Bytes& bytes) {
+  if (bytes.size() != 16) return std::nullopt;
+  PaymentDemand demand;
+  demand.sender = get_u32(bytes, 0);
+  demand.receiver = get_u32(bytes, 4);
+  demand.value = static_cast<pcn::Amount>(get_u64(bytes, 8));
+  return demand;
+}
+
+}  // namespace splicer::core

@@ -1,0 +1,29 @@
+#pragma once
+
+// Wire encoding of payment demands D_tid = (P_s, P_r, val_tid) - the tuple
+// the sender encrypts to the smooth node's fresh transaction key
+// (paper SS III-A, payment execution step 1).
+
+#include <cstdint>
+#include <optional>
+
+#include "crypto/elgamal.h"
+#include "pcn/types.h"
+
+namespace splicer::core {
+
+struct PaymentDemand {
+  pcn::NodeId sender = 0;
+  pcn::NodeId receiver = 0;
+  pcn::Amount value = 0;  // val_tid, milli-tokens
+
+  friend bool operator==(const PaymentDemand&, const PaymentDemand&) = default;
+};
+
+/// Fixed-width little-endian encoding (4 + 4 + 8 bytes).
+[[nodiscard]] crypto::Bytes encode_demand(const PaymentDemand& demand);
+
+/// Returns nullopt on malformed input (wrong length).
+[[nodiscard]] std::optional<PaymentDemand> decode_demand(const crypto::Bytes& bytes);
+
+}  // namespace splicer::core

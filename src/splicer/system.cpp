@@ -1,0 +1,63 @@
+#include "splicer/system.h"
+
+#include <sstream>
+
+#include "common/table.h"
+#include "placement/cost_model.h"
+
+namespace splicer::core {
+
+SplicerSystem::SplicerSystem(SystemOptions options)
+    : options_(std::move(options)),
+      scenario_(routing::prepare_scenario(options_.scenario)) {}
+
+SystemReport SplicerSystem::run() {
+  SystemReport report;
+  report.hub_count = scenario_.multi_star.hubs.size();
+  const auto costs = placement::balance_cost(scenario_.instance, scenario_.plan);
+  report.balance_cost = costs.balance;
+  report.management_cost = costs.management;
+  report.synchronization_cost = costs.synchronization;
+
+  // Byte-level workflow crypto for a sample of payments (paper Fig. 3).
+  common::Rng crypto_rng(options_.scenario.seed ^ 0xC0FFEE);
+  crypto::KeyManagementGroup kmg(options_.kmg_members, crypto_rng.fork());
+  PaymentWorkflow workflow(kmg, crypto_rng,
+                           WorkflowConfig{options_.scheme.protocol.min_tu,
+                                          options_.scheme.protocol.max_tu,
+                                          options_.kmg_members});
+  const std::size_t sample =
+      std::min(options_.crypto_sample, scenario_.payments.size());
+  for (std::size_t i = 0; i < sample; ++i) {
+    const auto& p = scenario_.payments[i];
+    const auto result =
+        workflow.execute(PaymentDemand{p.sender, p.receiver, p.value});
+    ++report.workflows_executed;
+    if (result.success) ++report.workflows_succeeded;
+  }
+  report.kmg_keys_issued = kmg.issued_count();
+
+  report.metrics = routing::run_scheme(scenario_, routing::Scheme::kSplicer,
+                                       options_.scheme);
+  return report;
+}
+
+std::string SystemReport::summary() const {
+  std::ostringstream out;
+  out << "hubs=" << hub_count << " C_B=" << balance_cost
+      << " (C_M=" << management_cost << ", C_S=" << synchronization_cost << ")\n"
+      << "payments=" << metrics.payments_generated
+      << " completed=" << metrics.payments_completed
+      << " TSR=" << common::format_percent(metrics.tsr())
+      << " throughput=" << common::format_percent(metrics.normalized_throughput())
+      << " avg_delay=" << common::format_double(metrics.average_delay_s() * 1000.0, 1)
+      << "ms\n"
+      << "TUs sent=" << metrics.tus_sent << " delivered=" << metrics.tus_delivered
+      << " marked=" << metrics.tus_marked
+      << " messages=" << metrics.messages.total() << "\n"
+      << "KMG keys issued=" << kmg_keys_issued << " workflows=" << workflows_executed
+      << "/" << workflows_succeeded << " ok";
+  return out.str();
+}
+
+}  // namespace splicer::core

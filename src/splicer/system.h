@@ -1,0 +1,56 @@
+#pragma once
+
+// End-to-end Splicer system facade: candidates -> placement -> multi-star
+// transform -> KMG setup -> payment workflow crypto -> rate-based routing
+// simulation. This is the public "run the whole paper pipeline" API the
+// quickstart example uses; benches drive the lower layers directly for
+// their parameter sweeps.
+
+#include <cstdint>
+#include <string>
+
+#include "crypto/kmg.h"
+#include "routing/experiment.h"
+#include "splicer/workflow.h"
+
+namespace splicer::core {
+
+struct SystemOptions {
+  routing::ScenarioConfig scenario;
+  routing::SchemeConfig scheme;  // engine + protocol knobs for Splicer
+  std::size_t kmg_members = 5;   // iota
+  /// Run the byte-level workflow crypto for the first N payments (all
+  /// payments still route; crypto sampling keeps huge runs fast).
+  std::size_t crypto_sample = 64;
+};
+
+struct SystemReport {
+  routing::EngineMetrics metrics;
+  std::size_t hub_count = 0;
+  double balance_cost = 0.0;
+  double management_cost = 0.0;
+  double synchronization_cost = 0.0;
+  std::size_t kmg_keys_issued = 0;
+  std::size_t workflows_executed = 0;
+  std::size_t workflows_succeeded = 0;
+  std::string summary() const;
+};
+
+class SplicerSystem {
+ public:
+  explicit SplicerSystem(SystemOptions options);
+
+  /// Runs placement + workflow crypto sample + the routing simulation.
+  [[nodiscard]] SystemReport run();
+
+  /// The prepared scenario (valid after construction).
+  [[nodiscard]] const routing::Scenario& scenario() const noexcept {
+    return scenario_;
+  }
+
+ private:
+  SystemOptions options_;
+  routing::Scenario scenario_;
+};
+
+}  // namespace splicer::core

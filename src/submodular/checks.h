@@ -1,0 +1,30 @@
+#pragma once
+
+// Supermodularity / submodularity verification oracles for tests.
+// Definition 2 of the paper: f is supermodular iff for all A subset of B and
+// i outside B:  f(A + i) - f(A) <= f(B + i) - f(B).
+
+#include "common/rng.h"
+#include "submodular/set_function.h"
+
+namespace splicer::submodular {
+
+/// Exhaustive check of Definition 2 (exponential; ground sets <= ~12).
+[[nodiscard]] bool is_supermodular_exhaustive(const SetFunction& f,
+                                              double tolerance = 1e-9);
+
+/// Randomised spot check: samples `trials` (A, B, i) triples with A subset
+/// of B. Returns false on the first violation.
+[[nodiscard]] bool is_supermodular_sampled(const SetFunction& f, common::Rng& rng,
+                                           std::size_t trials = 200,
+                                           double tolerance = 1e-9);
+
+/// Brute-force global minimum over all subsets (exponential; tests only).
+struct BruteForceResult {
+  Subset subset;
+  double value = 0.0;
+};
+[[nodiscard]] BruteForceResult brute_force_minimum(const SetFunction& f);
+[[nodiscard]] BruteForceResult brute_force_maximum(const SetFunction& f);
+
+}  // namespace splicer::submodular

@@ -1,0 +1,92 @@
+#include "submodular/double_greedy.h"
+
+#include <algorithm>
+
+namespace splicer::submodular {
+
+namespace {
+
+/// Shared core; `decide` returns true to take the add branch.
+template <typename Decide>
+DoubleGreedyResult run_double_greedy(const SetFunction& g, Decide&& decide) {
+  DoubleGreedyResult result;
+  const std::size_t n = g.ground_size;
+  Subset x = empty_subset(n);
+  Subset y = full_subset(n);
+
+  const auto eval = [&](const Subset& s) {
+    ++result.oracle_calls;
+    return g.value(s);
+  };
+
+  double gx = eval(x);
+  double gy = eval(y);
+
+  for (std::size_t u = 0; u < n; ++u) {
+    x[u] = 1;
+    const double gx_with = eval(x);
+    x[u] = 0;
+    y[u] = 0;
+    const double gy_without = eval(y);
+    y[u] = 1;
+
+    const double a = gx_with - gx;   // gain of adding u to X
+    const double b = gy_without - gy;  // gain of removing u from Y
+    if (decide(a, b)) {
+      x[u] = 1;
+      gx = gx_with;
+    } else {
+      y[u] = 0;
+      gy = gy_without;
+    }
+  }
+  // X == Y at termination.
+  result.subset = std::move(x);
+  result.value = gx;
+  return result;
+}
+
+}  // namespace
+
+DoubleGreedyResult double_greedy(const SetFunction& g) {
+  return run_double_greedy(g, [](double a, double b) { return a >= b; });
+}
+
+DoubleGreedyResult double_greedy_randomized(const SetFunction& g, common::Rng& rng) {
+  return run_double_greedy(g, [&rng](double a, double b) {
+    const double ap = std::max(a, 0.0);
+    const double bp = std::max(b, 0.0);
+    if (ap == 0.0 && bp == 0.0) return true;  // paper Alg. 1 line 10
+    return rng.uniform01() < ap / (ap + bp);
+  });
+}
+
+namespace {
+MinimizeResult to_minimize_result(const SetFunction& f, DoubleGreedyResult greedy) {
+  MinimizeResult result;
+  result.subset = std::move(greedy.subset);
+  result.value = f.value(result.subset);
+  result.oracle_calls = greedy.oracle_calls + 1;
+  return result;
+}
+
+SetFunction complement(const SetFunction& f, double f_ub) {
+  SetFunction g;
+  g.ground_size = f.ground_size;
+  g.value = [&f, f_ub](const Subset& s) { return f_ub - f.value(s); };
+  return g;
+}
+}  // namespace
+
+MinimizeResult minimize_supermodular(const SetFunction& f, double f_ub) {
+  const SetFunction g = complement(f, f_ub);
+  return to_minimize_result(f, double_greedy(g));
+}
+
+MinimizeResult minimize_supermodular_randomized(const SetFunction& f, double f_ub,
+                                                common::Rng& rng) {
+  const SetFunction g = complement(f, f_ub);
+  return to_minimize_result(f, double_greedy_randomized(g, rng));
+}
+
+}  // namespace splicer::submodular

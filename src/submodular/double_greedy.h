@@ -1,0 +1,43 @@
+#pragma once
+
+// Double-greedy unconstrained submodular maximisation (paper Alg. 1):
+// maintains X (growing from the empty set) and Y (shrinking from the full
+// ground set); at element u_i it either adds u_i to X or removes it from Y
+// based on the marginal gains a_i, b_i. The randomised variant takes the
+// "add" branch with probability a'/(a'+b') (a' = b' = 0 resolves to "add",
+// paper Alg. 1 line 10) and guarantees E[g(X)] >= 1/2 * OPT; the
+// deterministic variant (a_i >= b_i => add) guarantees 1/3 * OPT.
+
+#include "common/rng.h"
+#include "submodular/set_function.h"
+
+namespace splicer::submodular {
+
+struct DoubleGreedyResult {
+  Subset subset;
+  double value = 0.0;
+  std::size_t oracle_calls = 0;
+};
+
+/// Deterministic double greedy (1/3-approximation for non-negative g).
+[[nodiscard]] DoubleGreedyResult double_greedy(const SetFunction& g);
+
+/// Randomised double greedy (1/2-approximation in expectation).
+[[nodiscard]] DoubleGreedyResult double_greedy_randomized(const SetFunction& g,
+                                                          common::Rng& rng);
+
+/// Minimises a supermodular f by maximising g = f_ub - f, where f_ub is any
+/// upper bound on max f (it only shifts g to be non-negative). Returns the
+/// minimising subset and f's value there.
+struct MinimizeResult {
+  Subset subset;
+  double value = 0.0;  // f(subset)
+  std::size_t oracle_calls = 0;
+};
+
+[[nodiscard]] MinimizeResult minimize_supermodular(const SetFunction& f, double f_ub);
+[[nodiscard]] MinimizeResult minimize_supermodular_randomized(const SetFunction& f,
+                                                              double f_ub,
+                                                              common::Rng& rng);
+
+}  // namespace splicer::submodular

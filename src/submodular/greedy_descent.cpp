@@ -1,0 +1,40 @@
+#include "submodular/greedy_descent.h"
+
+#include <stdexcept>
+
+namespace splicer::submodular {
+
+GreedyDescentResult greedy_descent(const SetFunction& f, Subset start,
+                                   std::size_t max_moves) {
+  if (start.size() != f.ground_size) {
+    throw std::invalid_argument("greedy_descent: start size mismatch");
+  }
+  GreedyDescentResult result;
+  result.subset = std::move(start);
+  const auto eval = [&](const Subset& s) {
+    ++result.oracle_calls;
+    return f.value(s);
+  };
+  result.value = eval(result.subset);
+
+  while (result.moves < max_moves) {
+    double best_value = result.value;
+    std::size_t best_element = f.ground_size;
+    for (std::size_t u = 0; u < f.ground_size; ++u) {
+      result.subset[u] ^= 1;  // toggle
+      const double candidate = eval(result.subset);
+      result.subset[u] ^= 1;  // restore
+      if (candidate < best_value) {
+        best_value = candidate;
+        best_element = u;
+      }
+    }
+    if (best_element == f.ground_size) break;  // local minimum
+    result.subset[best_element] ^= 1;
+    result.value = best_value;
+    ++result.moves;
+  }
+  return result;
+}
+
+}  // namespace splicer::submodular

@@ -1,0 +1,23 @@
+#pragma once
+
+// Greedy local-descent minimisation baseline (Il'ev-style greedy descent,
+// paper ref. [19]) used by the placement ablation bench to show what the
+// double greedy buys over plain hill climbing.
+
+#include "submodular/set_function.h"
+
+namespace splicer::submodular {
+
+struct GreedyDescentResult {
+  Subset subset;
+  double value = 0.0;
+  std::size_t oracle_calls = 0;
+  std::size_t moves = 0;
+};
+
+/// Starts from `start` and repeatedly applies the single best add-or-remove
+/// move that strictly decreases f, until a local minimum (or `max_moves`).
+[[nodiscard]] GreedyDescentResult greedy_descent(const SetFunction& f, Subset start,
+                                                 std::size_t max_moves = 10000);
+
+}  // namespace splicer::submodular

@@ -1,0 +1,34 @@
+#pragma once
+
+// Set functions over a ground set {0, .., n-1}, represented as char masks.
+//
+// The paper's large-scale placement (SS IV-C) minimises a supermodular
+// balance-cost f(X) by maximising the non-negative submodular
+// f_hat(X) = f_ub - f(X) with the Buchbinder et al. 1/2-approximation
+// double greedy (paper Alg. 1).
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+namespace splicer::submodular {
+
+/// Subset indicator over the ground set.
+using Subset = std::vector<char>;
+
+/// Evaluation oracle. Implementations should be deterministic.
+struct SetFunction {
+  std::size_t ground_size = 0;
+  std::function<double(const Subset&)> value;
+};
+
+[[nodiscard]] inline Subset empty_subset(std::size_t n) { return Subset(n, 0); }
+[[nodiscard]] inline Subset full_subset(std::size_t n) { return Subset(n, 1); }
+
+[[nodiscard]] inline std::size_t cardinality(const Subset& s) {
+  std::size_t c = 0;
+  for (const char bit : s) c += bit != 0;
+  return c;
+}
+
+}  // namespace splicer::submodular

@@ -1,0 +1,41 @@
+#include "common/amount.h"
+
+#include <gtest/gtest.h>
+
+namespace splicer::common {
+namespace {
+
+TEST(Amount, TokensRoundTrip) {
+  EXPECT_EQ(tokens(1.0), 1000);
+  EXPECT_EQ(tokens(0.001), 1);
+  EXPECT_EQ(tokens(152.5), 152500);
+  EXPECT_DOUBLE_EQ(to_tokens(whole_tokens(403)), 403.0);
+}
+
+TEST(Amount, RoundingIsNearest) {
+  EXPECT_EQ(tokens(0.0014), 1);
+  EXPECT_EQ(tokens(0.0016), 2);
+  EXPECT_EQ(tokens(-0.0016), -2);
+}
+
+TEST(Amount, WholeTokens) {
+  EXPECT_EQ(whole_tokens(10), 10000);
+  EXPECT_EQ(whole_tokens(0), 0);
+  EXPECT_EQ(whole_tokens(-3), -3000);
+}
+
+TEST(Amount, ToString) {
+  EXPECT_EQ(amount_to_string(whole_tokens(13) + 250), "13.250");
+  EXPECT_EQ(amount_to_string(0), "0.000");
+  EXPECT_EQ(amount_to_string(5), "0.005");
+}
+
+TEST(Amount, ExactIntegerArithmetic) {
+  // The reason for milli-token integers: no drift under repeated ops.
+  Amount total = 0;
+  for (int i = 0; i < 1000000; ++i) total += 1;  // 1 mtok each
+  EXPECT_EQ(total, whole_tokens(1000));
+}
+
+}  // namespace
+}  // namespace splicer::common

@@ -1,0 +1,129 @@
+#include "lp/branch_and_bound.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+
+namespace splicer::lp {
+namespace {
+
+TEST(BranchAndBound, KnapsackToy) {
+  // max 10a + 6b + 4c s.t. a+b+c <= 2 (binaries) -> a=b=1, obj 16.
+  Model m;
+  const int a = m.add_binary("a");
+  const int b = m.add_binary("b");
+  const int c = m.add_binary("c");
+  m.add_constraint({{a, 1.0}, {b, 1.0}, {c, 1.0}}, Relation::kLessEqual, 2.0);
+  m.set_objective({{a, 10.0}, {b, 6.0}, {c, 4.0}}, Sense::kMaximize);
+  const auto s = BranchAndBoundSolver().solve(m);
+  ASSERT_TRUE(s.ok());
+  EXPECT_NEAR(s.objective, 16.0, 1e-9);
+  EXPECT_NEAR(s.values[0], 1.0, 1e-9);
+  EXPECT_NEAR(s.values[1], 1.0, 1e-9);
+  EXPECT_NEAR(s.values[2], 0.0, 1e-9);
+}
+
+TEST(BranchAndBound, FractionalLpForcedIntegral) {
+  // max x s.t. 2x <= 5 with x integer in [0, 10] -> x = 2.
+  Model m;
+  const int x = m.add_variable("x", 0.0, 10.0, VarKind::kInteger);
+  m.add_constraint({{x, 2.0}}, Relation::kLessEqual, 5.0);
+  m.set_objective({{x, 1.0}}, Sense::kMaximize);
+  const auto s = BranchAndBoundSolver().solve(m);
+  ASSERT_TRUE(s.ok());
+  EXPECT_NEAR(s.values[0], 2.0, 1e-9);
+}
+
+TEST(BranchAndBound, MixedIntegerContinuous) {
+  // max 2b + x s.t. b + x <= 1.5, x in [0,1]: b=1, x=0.5 -> 2.5.
+  Model m;
+  const int b = m.add_binary("b");
+  const int x = m.add_variable("x", 0.0, 1.0);
+  m.add_constraint({{b, 1.0}, {x, 1.0}}, Relation::kLessEqual, 1.5);
+  m.set_objective({{b, 2.0}, {x, 1.0}}, Sense::kMaximize);
+  const auto s = BranchAndBoundSolver().solve(m);
+  ASSERT_TRUE(s.ok());
+  EXPECT_NEAR(s.objective, 2.5, 1e-9);
+}
+
+TEST(BranchAndBound, InfeasibleIntegerProgram) {
+  // 0.4 <= x <= 0.6 has no integer point.
+  Model m;
+  const int x = m.add_variable("x", 0.0, 1.0, VarKind::kInteger);
+  m.add_constraint({{x, 1.0}}, Relation::kGreaterEqual, 0.4);
+  m.add_constraint({{x, 1.0}}, Relation::kLessEqual, 0.6);
+  m.set_objective({{x, 1.0}});
+  EXPECT_EQ(BranchAndBoundSolver().solve(m).status, SolveStatus::kInfeasible);
+}
+
+TEST(BranchAndBound, WarmStartAccepted) {
+  Model m;
+  const int a = m.add_binary("a");
+  const int b = m.add_binary("b");
+  m.add_constraint({{a, 1.0}, {b, 1.0}}, Relation::kLessEqual, 1.0);
+  m.set_objective({{a, 3.0}, {b, 2.0}}, Sense::kMaximize);
+  BranchAndBoundSolver solver;
+  solver.set_warm_start({0.0, 1.0});  // feasible, objective 2
+  const auto s = solver.solve(m);
+  ASSERT_TRUE(s.ok());
+  EXPECT_NEAR(s.objective, 3.0, 1e-9);  // still finds the true optimum
+  EXPECT_GE(solver.stats().incumbent_updates, 2u);
+}
+
+TEST(BranchAndBound, NodeLimitReturnsIncumbent) {
+  Model m;
+  const int a = m.add_binary("a");
+  m.set_objective({{a, 1.0}}, Sense::kMaximize);
+  BranchAndBoundOptions options;
+  options.max_nodes = 0;  // no exploration allowed
+  BranchAndBoundSolver solver(options);
+  solver.set_warm_start({0.0});
+  const auto s = solver.solve(m);
+  EXPECT_EQ(s.status, SolveStatus::kNodeLimit);
+  EXPECT_NEAR(s.objective, 0.0, 1e-9);  // warm start survives
+}
+
+/// Brute-force oracle over all binary assignments.
+double brute_force_binary(const Model& m) {
+  const std::size_t n = m.variable_count();
+  double best = -1e100;
+  const double sign = m.sense() == Sense::kMaximize ? 1.0 : -1.0;
+  for (std::uint64_t mask = 0; mask < (1ULL << n); ++mask) {
+    std::vector<double> values(n);
+    for (std::size_t j = 0; j < n; ++j) values[j] = (mask >> j) & 1 ? 1.0 : 0.0;
+    if (!m.is_feasible(values, 1e-9)) continue;
+    best = std::max(best, sign * m.evaluate_objective(values));
+  }
+  return sign * best;
+}
+
+// Property sweep: B&B == brute force on random binary programs.
+class BnbPropertyTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(BnbPropertyTest, MatchesBruteForce) {
+  common::Rng rng(GetParam());
+  Model m;
+  const int n = 8;
+  for (int j = 0; j < n; ++j) (void)m.add_binary("b" + std::to_string(j));
+  for (int c = 0; c < 3; ++c) {
+    LinearExpr expr;
+    for (int j = 0; j < n; ++j) expr.push_back({j, rng.uniform(0.0, 3.0)});
+    m.add_constraint(std::move(expr), Relation::kLessEqual, rng.uniform(3.0, 9.0));
+  }
+  LinearExpr obj;
+  for (int j = 0; j < n; ++j) obj.push_back({j, rng.uniform(-2.0, 5.0)});
+  m.set_objective(std::move(obj), Sense::kMaximize);
+
+  const auto s = BranchAndBoundSolver().solve(m);
+  ASSERT_TRUE(s.ok()) << to_string(s.status);
+  EXPECT_TRUE(m.is_feasible(s.values, 1e-6));
+  EXPECT_NEAR(s.objective, brute_force_binary(m), 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BnbPropertyTest,
+                         ::testing::Values(11, 22, 33, 44, 55, 66, 77, 88));
+
+}  // namespace
+}  // namespace splicer::lp

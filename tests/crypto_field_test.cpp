@@ -1,0 +1,70 @@
+#include "crypto/field.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace splicer::crypto {
+namespace {
+
+TEST(Field, ReduceIdentities) {
+  EXPECT_EQ(reduce(0), 0u);
+  EXPECT_EQ(reduce(kPrime), 0u);
+  EXPECT_EQ(reduce(kPrime - 1), kPrime - 1);
+  EXPECT_EQ(reduce(kPrime + 5), 5u);
+}
+
+TEST(Field, AddSub) {
+  EXPECT_EQ(add_mod(kPrime - 1, 1), 0u);
+  EXPECT_EQ(add_mod(kPrime - 1, 2), 1u);
+  EXPECT_EQ(sub_mod(0, 1), kPrime - 1);
+  EXPECT_EQ(sub_mod(5, 3), 2u);
+}
+
+TEST(Field, MulSmall) {
+  EXPECT_EQ(mul_mod(3, 4), 12u);
+  EXPECT_EQ(mul_mod(0, 12345), 0u);
+  EXPECT_EQ(mul_mod(1, kPrime - 1), kPrime - 1);
+}
+
+TEST(Field, MulLargeMatchesInt128Reference) {
+  common::Rng rng(1);
+  for (int i = 0; i < 1000; ++i) {
+    const std::uint64_t a = rng.next_below(kPrime);
+    const std::uint64_t b = rng.next_below(kPrime);
+    const auto reference = static_cast<std::uint64_t>(
+        (static_cast<unsigned __int128>(a) * b) % kPrime);
+    EXPECT_EQ(mul_mod(a, b), reference);
+  }
+}
+
+TEST(Field, PowMatchesRepeatedMul) {
+  std::uint64_t acc = 1;
+  for (int e = 0; e < 20; ++e) {
+    EXPECT_EQ(pow_mod(7, static_cast<std::uint64_t>(e)), acc);
+    acc = mul_mod(acc, 7);
+  }
+}
+
+TEST(Field, FermatLittleTheorem) {
+  common::Rng rng(2);
+  for (int i = 0; i < 20; ++i) {
+    const std::uint64_t a = 1 + rng.next_below(kPrime - 1);
+    EXPECT_EQ(pow_mod(a, kPrime - 1), 1u) << a;
+  }
+}
+
+TEST(Field, InverseIsInverse) {
+  common::Rng rng(3);
+  for (int i = 0; i < 100; ++i) {
+    const std::uint64_t a = 1 + rng.next_below(kPrime - 1);
+    EXPECT_EQ(mul_mod(a, inv_mod(a)), 1u);
+  }
+}
+
+TEST(Field, InverseOfZeroThrows) {
+  EXPECT_THROW((void)inv_mod(0), std::domain_error);
+}
+
+}  // namespace
+}  // namespace splicer::crypto

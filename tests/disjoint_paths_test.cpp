@@ -1,0 +1,99 @@
+#include "graph/disjoint_paths.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "graph/generators.h"
+
+namespace splicer::graph {
+namespace {
+
+TEST(DisjointPaths, ShortestSetIsDisjointAndOrdered) {
+  common::Rng rng(1);
+  const Graph g = watts_strogatz(80, 8, 0.2, rng);
+  const auto paths = edge_disjoint_shortest_paths(g, 0, 40, 5);
+  EXPECT_GE(paths.size(), 2u);
+  EXPECT_TRUE(paths_edge_disjoint(paths));
+  for (std::size_t i = 1; i < paths.size(); ++i) {
+    EXPECT_LE(paths[i - 1].length, paths[i].length);
+  }
+  for (const auto& p : paths) EXPECT_TRUE(is_valid_path(g, p));
+}
+
+TEST(DisjointPaths, WidestSetIsDisjoint) {
+  common::Rng rng(2);
+  Graph g = watts_strogatz(80, 8, 0.2, rng);
+  for (EdgeId e = 0; e < g.edge_count(); ++e) g.set_capacity(e, rng.uniform(1, 500));
+  const auto paths = edge_disjoint_widest_paths(g, 0, 40, 5);
+  EXPECT_GE(paths.size(), 2u);
+  EXPECT_TRUE(paths_edge_disjoint(paths));
+  // Successively removed widest paths have non-increasing bottlenecks.
+  for (std::size_t i = 1; i < paths.size(); ++i) {
+    EXPECT_GE(paths[i - 1].bottleneck(g), paths[i].bottleneck(g));
+  }
+}
+
+TEST(DisjointPaths, CountBoundedByMinCut) {
+  // Two vertex-disjoint routes only -> at most 2 edge-disjoint paths.
+  Graph g(6);
+  g.add_edge(0, 1);
+  g.add_edge(1, 5);
+  g.add_edge(0, 2);
+  g.add_edge(2, 5);
+  g.add_edge(1, 2);  // cross edge does not add a third route
+  const auto paths = edge_disjoint_shortest_paths(g, 0, 5, 5);
+  EXPECT_EQ(paths.size(), 2u);
+}
+
+TEST(DisjointPaths, EmptyWhenDisconnected) {
+  Graph g(4);
+  g.add_edge(0, 1);
+  EXPECT_TRUE(edge_disjoint_shortest_paths(g, 0, 3, 3).empty());
+  EXPECT_TRUE(edge_disjoint_widest_paths(g, 0, 3, 3).empty());
+}
+
+TEST(SelectPaths, DispatchesAllFourTypes) {
+  common::Rng rng(3);
+  Graph g = watts_strogatz(60, 6, 0.2, rng);
+  for (EdgeId e = 0; e < g.edge_count(); ++e) g.set_capacity(e, rng.uniform(1, 500));
+  for (const auto type :
+       {PathType::kShortest, PathType::kHeuristic, PathType::kEdgeDisjointWidest,
+        PathType::kEdgeDisjointShortest}) {
+    const auto paths = select_paths(g, 5, 30, 3, type);
+    EXPECT_FALSE(paths.empty()) << to_string(type);
+    for (const auto& p : paths) {
+      EXPECT_TRUE(is_valid_path(g, p)) << to_string(type);
+      EXPECT_EQ(p.source(), 5u);
+      EXPECT_EQ(p.target(), 30u);
+    }
+  }
+}
+
+TEST(SelectPaths, DisjointVariantsAreDisjointButKspMayShare) {
+  common::Rng rng(4);
+  const Graph g = watts_strogatz(60, 6, 0.2, rng);
+  EXPECT_TRUE(paths_edge_disjoint(
+      select_paths(g, 2, 33, 4, PathType::kEdgeDisjointWidest)));
+  EXPECT_TRUE(paths_edge_disjoint(
+      select_paths(g, 2, 33, 4, PathType::kEdgeDisjointShortest)));
+  // KSP paths typically share edges; just confirm they exist.
+  EXPECT_FALSE(select_paths(g, 2, 33, 4, PathType::kShortest).empty());
+}
+
+TEST(PathTypeNames, Strings) {
+  EXPECT_STREQ(to_string(PathType::kShortest), "KSP");
+  EXPECT_STREQ(to_string(PathType::kHeuristic), "Heuristic");
+  EXPECT_STREQ(to_string(PathType::kEdgeDisjointWidest), "EDW");
+  EXPECT_STREQ(to_string(PathType::kEdgeDisjointShortest), "EDS");
+}
+
+TEST(PathsEdgeDisjoint, DetectsSharing) {
+  Path a{{0, 1}, {7}, 1.0};
+  Path b{{2, 3}, {7}, 1.0};
+  EXPECT_FALSE(paths_edge_disjoint({a, b}));
+  Path c{{2, 3}, {8}, 1.0};
+  EXPECT_TRUE(paths_edge_disjoint({a, c}));
+}
+
+}  // namespace
+}  // namespace splicer::graph

@@ -1,0 +1,99 @@
+#include "crypto/elgamal.h"
+
+#include <gtest/gtest.h>
+
+namespace splicer::crypto {
+namespace {
+
+Bytes to_bytes(const std::string& s) { return Bytes(s.begin(), s.end()); }
+
+TEST(ElGamal, KeypairIsConsistent) {
+  common::Rng rng(1);
+  const KeyPair kp = generate_keypair(rng);
+  EXPECT_NE(kp.secret_key, 0u);
+  EXPECT_EQ(kp.public_key, pow_mod(kGenerator, kp.secret_key));
+}
+
+TEST(ElGamal, EncryptDecryptRoundTrip) {
+  common::Rng rng(2);
+  const KeyPair kp = generate_keypair(rng);
+  const Bytes plaintext = to_bytes("payment demand D_tid = (P_s, P_r, val)");
+  const Ciphertext ct = encrypt(kp.public_key, plaintext, rng);
+  Bytes recovered;
+  ASSERT_TRUE(decrypt(kp.secret_key, ct, recovered));
+  EXPECT_EQ(recovered, plaintext);
+}
+
+TEST(ElGamal, EmptyPlaintext) {
+  common::Rng rng(3);
+  const KeyPair kp = generate_keypair(rng);
+  const Ciphertext ct = encrypt(kp.public_key, {}, rng);
+  Bytes recovered{1, 2, 3};
+  ASSERT_TRUE(decrypt(kp.secret_key, ct, recovered));
+  EXPECT_TRUE(recovered.empty());
+}
+
+TEST(ElGamal, CiphertextDiffersFromPlaintext) {
+  common::Rng rng(4);
+  const KeyPair kp = generate_keypair(rng);
+  const Bytes plaintext = to_bytes("secret");
+  const Ciphertext ct = encrypt(kp.public_key, plaintext, rng);
+  EXPECT_NE(ct.body, plaintext);
+}
+
+TEST(ElGamal, FreshEphemeralPerEncryption) {
+  common::Rng rng(5);
+  const KeyPair kp = generate_keypair(rng);
+  const Bytes plaintext = to_bytes("same message");
+  const Ciphertext a = encrypt(kp.public_key, plaintext, rng);
+  const Ciphertext b = encrypt(kp.public_key, plaintext, rng);
+  EXPECT_NE(a.ephemeral, b.ephemeral);
+  EXPECT_NE(a.body, b.body);  // different keystream
+}
+
+TEST(ElGamal, WrongKeyFailsAuthentication) {
+  common::Rng rng(6);
+  const KeyPair kp = generate_keypair(rng);
+  const KeyPair other = generate_keypair(rng);
+  const Ciphertext ct = encrypt(kp.public_key, to_bytes("x"), rng);
+  Bytes recovered;
+  EXPECT_FALSE(decrypt(other.secret_key, ct, recovered));
+  EXPECT_TRUE(recovered.empty());
+}
+
+TEST(ElGamal, TamperedBodyDetected) {
+  common::Rng rng(7);
+  const KeyPair kp = generate_keypair(rng);
+  Ciphertext ct = encrypt(kp.public_key, to_bytes("pay 10 tokens"), rng);
+  ct.body[3] ^= 0x40;
+  Bytes recovered;
+  EXPECT_FALSE(decrypt(kp.secret_key, ct, recovered));
+}
+
+TEST(ElGamal, TamperedTagDetected) {
+  common::Rng rng(8);
+  const KeyPair kp = generate_keypair(rng);
+  Ciphertext ct = encrypt(kp.public_key, to_bytes("pay 10 tokens"), rng);
+  ct.tag ^= 1;
+  Bytes recovered;
+  EXPECT_FALSE(decrypt(kp.secret_key, ct, recovered));
+}
+
+TEST(Keystream, IsAnInvolution) {
+  const Bytes data = to_bytes("some payload bytes for xor");
+  const Bytes once = apply_keystream(12345, data);
+  const Bytes twice = apply_keystream(12345, once);
+  EXPECT_EQ(twice, data);
+  EXPECT_NE(once, data);
+}
+
+TEST(AuthTag, SensitiveToLengthExtension) {
+  // Tag binds the length, so a truncated message cannot collide trivially.
+  const Bytes a = to_bytes("abc");
+  const Bytes b = to_bytes("ab");
+  EXPECT_NE(auth_tag(1, a), auth_tag(1, b));
+  EXPECT_NE(auth_tag(1, a), auth_tag(2, a));  // key-sensitive too
+}
+
+}  // namespace
+}  // namespace splicer::crypto

@@ -1,0 +1,125 @@
+#include "graph/generators.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/metrics.h"
+
+namespace splicer::graph {
+namespace {
+
+class WattsStrogatzParam
+    : public ::testing::TestWithParam<std::tuple<std::size_t, std::size_t, double>> {};
+
+TEST_P(WattsStrogatzParam, ConnectedWithExpectedEdgeBudget) {
+  const auto [n, k, beta] = GetParam();
+  common::Rng rng(11);
+  const Graph g = watts_strogatz(n, k, beta, rng);
+  EXPECT_EQ(g.node_count(), n);
+  EXPECT_TRUE(is_connected(g));
+  // Ring lattice creates ~n*k/2 edges; rewiring may drop a few duplicates.
+  EXPECT_GE(g.edge_count(), n * k / 2 - n);
+  EXPECT_LE(g.edge_count(), n * k / 2 + n);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sizes, WattsStrogatzParam,
+    ::testing::Values(std::tuple{20, 4, 0.0}, std::tuple{100, 8, 0.15},
+                      std::tuple{100, 8, 0.5}, std::tuple{500, 6, 0.15},
+                      std::tuple{1000, 8, 0.15}, std::tuple{100, 8, 1.0}));
+
+TEST(WattsStrogatz, ZeroBetaIsRingLattice) {
+  common::Rng rng(1);
+  const Graph g = watts_strogatz(12, 4, 0.0, rng);
+  // Every node connects to neighbours at distance 1 and 2 on the ring.
+  for (NodeId i = 0; i < 12; ++i) {
+    EXPECT_TRUE(g.has_edge(i, (i + 1) % 12));
+    EXPECT_TRUE(g.has_edge(i, (i + 2) % 12));
+  }
+}
+
+TEST(WattsStrogatz, HighClusteringAtLowBeta) {
+  common::Rng rng(2);
+  const Graph lattice = watts_strogatz(200, 8, 0.0, rng);
+  const Graph random_ish = watts_strogatz(200, 8, 1.0, rng);
+  EXPECT_GT(average_clustering(lattice), 0.5);
+  EXPECT_LT(average_clustering(random_ish), average_clustering(lattice));
+}
+
+TEST(WattsStrogatz, RewiringShortensPaths) {
+  common::Rng rng(3);
+  const Graph lattice = watts_strogatz(300, 6, 0.0, rng);
+  const Graph small_world = watts_strogatz(300, 6, 0.2, rng);
+  EXPECT_LT(HopMatrix(small_world).mean_hops(), HopMatrix(lattice).mean_hops());
+}
+
+TEST(WattsStrogatz, ParameterValidation) {
+  common::Rng rng(4);
+  EXPECT_THROW((void)watts_strogatz(10, 3, 0.1, rng), std::invalid_argument);
+  EXPECT_THROW((void)watts_strogatz(10, 0, 0.1, rng), std::invalid_argument);
+  EXPECT_THROW((void)watts_strogatz(4, 4, 0.1, rng), std::invalid_argument);
+}
+
+TEST(WattsStrogatz, DeterministicGivenSeed) {
+  common::Rng a(5), b(5);
+  const Graph g1 = watts_strogatz(50, 4, 0.3, a);
+  const Graph g2 = watts_strogatz(50, 4, 0.3, b);
+  ASSERT_EQ(g1.edge_count(), g2.edge_count());
+  for (EdgeId e = 0; e < g1.edge_count(); ++e) {
+    EXPECT_EQ(g1.edge(e).u, g2.edge(e).u);
+    EXPECT_EQ(g1.edge(e).v, g2.edge(e).v);
+  }
+}
+
+TEST(PreferentialAttachment, DegreeDistributionIsSkewed) {
+  common::Rng rng(6);
+  const Graph g = preferential_attachment(1000, 3, rng);
+  EXPECT_TRUE(is_connected(g));
+  const auto stats = degree_stats(g);
+  // Scale-free: hub degree far exceeds the mean (ROLL generates such nets).
+  EXPECT_GT(static_cast<double>(stats.max), 5.0 * stats.mean);
+  EXPECT_GE(stats.min, 3u);
+}
+
+TEST(PreferentialAttachment, EdgeCount) {
+  common::Rng rng(7);
+  const std::size_t n = 200, m = 2;
+  const Graph g = preferential_attachment(n, m, rng);
+  // Seed clique of m+1 nodes + m edges per later node.
+  EXPECT_EQ(g.edge_count(), m * (m + 1) / 2 + (n - m - 1) * m);
+}
+
+TEST(PreferentialAttachment, Validation) {
+  common::Rng rng(8);
+  EXPECT_THROW((void)preferential_attachment(2, 0, rng), std::invalid_argument);
+  EXPECT_THROW((void)preferential_attachment(2, 2, rng), std::invalid_argument);
+}
+
+TEST(Star, Shape) {
+  const Graph g = star(6);
+  EXPECT_EQ(g.edge_count(), 5u);
+  EXPECT_EQ(g.degree(0), 5u);
+  for (NodeId i = 1; i < 6; ++i) EXPECT_EQ(g.degree(i), 1u);
+  EXPECT_THROW((void)star(1), std::invalid_argument);
+}
+
+TEST(MultiStar, Shape) {
+  const Graph g = multi_star(3, 9);
+  EXPECT_TRUE(is_connected(g));
+  // Hub mesh: 3 edges; spokes: 9.
+  EXPECT_EQ(g.edge_count(), 3u + 9u);
+  for (NodeId c = 3; c < 12; ++c) EXPECT_EQ(g.degree(c), 1u);
+}
+
+TEST(PatchConnectivity, JoinsComponents) {
+  Graph g(6);
+  g.add_edge(0, 1);
+  g.add_edge(2, 3);
+  g.add_edge(4, 5);
+  EXPECT_FALSE(is_connected(g));
+  const std::size_t added = patch_connectivity(g);
+  EXPECT_EQ(added, 2u);
+  EXPECT_TRUE(is_connected(g));
+}
+
+}  // namespace
+}  // namespace splicer::graph

@@ -1,0 +1,111 @@
+#include "graph/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "graph/generators.h"
+#include "graph/shortest_path.h"
+
+namespace splicer::graph {
+namespace {
+
+TEST(Components, SingleComponent) {
+  Graph g(3);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  EXPECT_EQ(connected_components(g).size(), 1u);
+  EXPECT_TRUE(is_connected(g));
+}
+
+TEST(Components, MultipleComponents) {
+  Graph g(5);
+  g.add_edge(0, 1);
+  g.add_edge(2, 3);
+  const auto reps = connected_components(g);
+  EXPECT_EQ(reps.size(), 3u);
+  EXPECT_EQ(reps[0], 0u);
+  EXPECT_EQ(reps[1], 2u);
+  EXPECT_EQ(reps[2], 4u);
+  EXPECT_FALSE(is_connected(g));
+}
+
+TEST(Components, EmptyGraphIsConnected) {
+  Graph g(0);
+  EXPECT_TRUE(is_connected(g));
+}
+
+TEST(Clustering, TriangleIsOne) {
+  Graph g(3);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(2, 0);
+  EXPECT_DOUBLE_EQ(average_clustering(g), 1.0);
+}
+
+TEST(Clustering, PathGraphIsZero) {
+  Graph g(3);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  EXPECT_DOUBLE_EQ(average_clustering(g), 0.0);
+}
+
+TEST(HopMatrixTest, MatchesBfs) {
+  common::Rng rng(1);
+  const Graph g = watts_strogatz(50, 4, 0.2, rng);
+  const HopMatrix hops(g);
+  const auto reference = bfs_hops(g, 7);
+  for (NodeId v = 0; v < g.node_count(); ++v) {
+    EXPECT_EQ(hops.hops(7, v), reference[v]);
+  }
+}
+
+TEST(HopMatrixTest, SymmetricAndZeroDiagonal) {
+  common::Rng rng(2);
+  const Graph g = watts_strogatz(40, 4, 0.2, rng);
+  const HopMatrix hops(g);
+  for (NodeId a = 0; a < 40; a += 5) {
+    EXPECT_EQ(hops.hops(a, a), 0);
+    for (NodeId b = 0; b < 40; b += 7) {
+      EXPECT_EQ(hops.hops(a, b), hops.hops(b, a));
+    }
+  }
+}
+
+TEST(HopMatrixTest, UnreachableMarked) {
+  Graph g(3);
+  g.add_edge(0, 1);
+  const HopMatrix hops(g);
+  EXPECT_EQ(hops.hops(0, 2), kUnreachableHops);
+}
+
+TEST(HopMatrixTest, MeanHopsPositive) {
+  common::Rng rng(3);
+  const Graph g = watts_strogatz(100, 8, 0.15, rng);
+  const double mean = HopMatrix(g).mean_hops();
+  EXPECT_GT(mean, 1.0);
+  EXPECT_LT(mean, 10.0);  // small world
+}
+
+TEST(DegreeStatsTest, Star) {
+  const Graph g = star(5);
+  const auto stats = degree_stats(g);
+  EXPECT_EQ(stats.max, 4u);
+  EXPECT_EQ(stats.min, 1u);
+  EXPECT_DOUBLE_EQ(stats.mean, 8.0 / 5.0);
+}
+
+TEST(NodesByDegree, SortedDescendingStable) {
+  Graph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(0, 2);
+  g.add_edge(0, 3);
+  g.add_edge(1, 2);
+  const auto order = nodes_by_degree(g);
+  EXPECT_EQ(order[0], 0u);            // degree 3
+  EXPECT_EQ(order[1], 1u);            // degree 2, smaller id first
+  EXPECT_EQ(order[2], 2u);            // degree 2
+  EXPECT_EQ(order[3], 3u);            // degree 1
+}
+
+}  // namespace
+}  // namespace splicer::graph

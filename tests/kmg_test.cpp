@@ -1,0 +1,83 @@
+#include "crypto/kmg.h"
+
+#include <gtest/gtest.h>
+
+namespace splicer::crypto {
+namespace {
+
+TEST(Kmg, IssueAndDecrypt) {
+  common::Rng rng(1);
+  KeyManagementGroup kmg(5, rng.fork());
+  const std::uint64_t pk = kmg.issue_key(100);
+  const Bytes demand{1, 2, 3, 4};
+  common::Rng enc_rng(2);
+  const Ciphertext ct = encrypt(pk, demand, enc_rng);
+  const auto plain = kmg.decrypt(100, ct);
+  ASSERT_TRUE(plain.has_value());
+  EXPECT_EQ(*plain, demand);
+}
+
+TEST(Kmg, DefaultThresholdIsMajority) {
+  common::Rng rng(2);
+  KeyManagementGroup kmg(5, rng.fork());
+  EXPECT_EQ(kmg.threshold(), 3u);
+  KeyManagementGroup even(4, rng.fork());
+  EXPECT_EQ(even.threshold(), 3u);
+}
+
+TEST(Kmg, SharesReconstructTheIssuedKey) {
+  common::Rng rng(3);
+  KeyManagementGroup kmg(5, rng.fork());
+  const std::uint64_t pk = kmg.issue_key(7);
+  const auto& shares = kmg.shares(7);
+  ASSERT_EQ(shares.size(), 5u);
+  const std::uint64_t sk = reconstruct_secret(
+      {shares[2], shares[3], shares[4]});  // any t-subset
+  EXPECT_EQ(pow_mod(kGenerator, sk), pk);
+}
+
+TEST(Kmg, UnknownIdReturnsNullopt) {
+  common::Rng rng(4);
+  KeyManagementGroup kmg(3, rng.fork());
+  Ciphertext ct;
+  EXPECT_FALSE(kmg.decrypt(999, ct).has_value());
+  EXPECT_FALSE(kmg.public_key(999).has_value());
+  EXPECT_THROW((void)kmg.shares(999), std::out_of_range);
+}
+
+TEST(Kmg, ReissueReplacesKey) {
+  common::Rng rng(5);
+  KeyManagementGroup kmg(3, rng.fork());
+  const std::uint64_t pk1 = kmg.issue_key(1);
+  const std::uint64_t pk2 = kmg.issue_key(1);
+  EXPECT_NE(pk1, pk2);
+  EXPECT_EQ(kmg.public_key(1), pk2);
+  EXPECT_EQ(kmg.issued_count(), 2u);
+}
+
+TEST(Kmg, FreshKeysPerTransaction) {
+  common::Rng rng(6);
+  KeyManagementGroup kmg(3, rng.fork());
+  const std::uint64_t a = kmg.issue_key(1);
+  const std::uint64_t b = kmg.issue_key(2);
+  EXPECT_NE(a, b);
+}
+
+TEST(Kmg, TamperedCiphertextRejected) {
+  common::Rng rng(7);
+  KeyManagementGroup kmg(5, rng.fork());
+  const std::uint64_t pk = kmg.issue_key(10);
+  common::Rng enc_rng(8);
+  Ciphertext ct = encrypt(pk, {9, 9, 9}, enc_rng);
+  ct.body[0] ^= 1;
+  EXPECT_FALSE(kmg.decrypt(10, ct).has_value());
+}
+
+TEST(Kmg, Validation) {
+  common::Rng rng(9);
+  EXPECT_THROW(KeyManagementGroup(0, rng.fork()), std::invalid_argument);
+  EXPECT_THROW(KeyManagementGroup(3, rng.fork(), 4), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace splicer::crypto

@@ -1,0 +1,80 @@
+#include "lp/model.h"
+
+#include <gtest/gtest.h>
+
+namespace splicer::lp {
+namespace {
+
+TEST(Model, VariablesAndBounds) {
+  Model m;
+  const int x = m.add_variable("x", 0.0, 5.0);
+  const int b = m.add_binary("b");
+  EXPECT_EQ(x, 0);
+  EXPECT_EQ(b, 1);
+  EXPECT_EQ(m.variable_count(), 2u);
+  EXPECT_EQ(m.variable(b).kind, VarKind::kBinary);
+  EXPECT_EQ(m.variable(b).upper, 1.0);
+}
+
+TEST(Model, RejectsBadBounds) {
+  Model m;
+  EXPECT_THROW((void)m.add_variable("x", 2.0, 1.0), std::invalid_argument);
+  EXPECT_THROW((void)m.add_variable("x", -kInfinity, 1.0), std::invalid_argument);
+}
+
+TEST(Model, ConstraintNormalisesDuplicates) {
+  Model m;
+  const int x = m.add_variable("x", 0.0, 10.0);
+  m.add_constraint({{x, 1.0}, {x, 2.0}}, Relation::kLessEqual, 6.0);
+  const auto& c = m.constraint(0);
+  ASSERT_EQ(c.expr.size(), 1u);
+  EXPECT_DOUBLE_EQ(c.expr[0].coeff, 3.0);
+}
+
+TEST(Model, ConstraintRejectsUnknownVariable) {
+  Model m;
+  (void)m.add_variable("x", 0.0, 1.0);
+  EXPECT_THROW(m.add_constraint({{5, 1.0}}, Relation::kEqual, 1.0),
+               std::out_of_range);
+}
+
+TEST(Model, EvaluateObjective) {
+  Model m;
+  const int x = m.add_variable("x", 0.0, 10.0);
+  const int y = m.add_variable("y", 0.0, 10.0);
+  m.set_objective({{x, 2.0}, {y, -1.0}});
+  EXPECT_DOUBLE_EQ(m.evaluate_objective({3.0, 4.0}), 2.0);
+}
+
+TEST(Model, FeasibilityChecker) {
+  Model m;
+  const int x = m.add_variable("x", 0.0, 10.0);
+  const int b = m.add_binary("b");
+  m.add_constraint({{x, 1.0}, {b, 5.0}}, Relation::kLessEqual, 8.0);
+  m.add_constraint({{x, 1.0}}, Relation::kGreaterEqual, 2.0);
+  EXPECT_TRUE(m.is_feasible({3.0, 1.0}));
+  EXPECT_FALSE(m.is_feasible({4.0, 1.0}));   // violates <= 8
+  EXPECT_FALSE(m.is_feasible({1.0, 0.0}));   // violates >= 2
+  EXPECT_FALSE(m.is_feasible({3.0, 0.5}));   // fractional binary
+  EXPECT_FALSE(m.is_feasible({11.0, 0.0}));  // bound violation
+  EXPECT_FALSE(m.is_feasible({3.0}));        // wrong arity
+}
+
+TEST(Model, HasIntegerVariables) {
+  Model continuous;
+  (void)continuous.add_variable("x", 0.0, 1.0);
+  EXPECT_FALSE(continuous.has_integer_variables());
+  Model mixed;
+  (void)mixed.add_variable("x", 0.0, 1.0);
+  (void)mixed.add_binary("b");
+  EXPECT_TRUE(mixed.has_integer_variables());
+}
+
+TEST(Model, StatusNames) {
+  EXPECT_STREQ(to_string(SolveStatus::kOptimal), "optimal");
+  EXPECT_STREQ(to_string(SolveStatus::kInfeasible), "infeasible");
+  EXPECT_STREQ(to_string(SolveStatus::kUnbounded), "unbounded");
+}
+
+}  // namespace
+}  // namespace splicer::lp

@@ -1,0 +1,109 @@
+#include "graph/max_flow.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "graph/generators.h"
+
+namespace splicer::graph {
+namespace {
+
+TEST(MaxFlow, ClassicExample) {
+  // Two parallel 2-hop routes with capacities 10/5 and 4/8.
+  Graph g(4);
+  g.add_edge(0, 1, 1.0, 10.0);
+  g.add_edge(1, 3, 1.0, 5.0);
+  g.add_edge(0, 2, 1.0, 4.0);
+  g.add_edge(2, 3, 1.0, 8.0);
+  const auto result = max_flow(g, 0, 3);
+  EXPECT_DOUBLE_EQ(result.total_flow, 9.0);  // 5 + 4
+}
+
+TEST(MaxFlow, BottleneckSingleEdge) {
+  Graph g(3);
+  g.add_edge(0, 1, 1.0, 100.0);
+  g.add_edge(1, 2, 1.0, 7.0);
+  const auto result = max_flow(g, 0, 2);
+  EXPECT_DOUBLE_EQ(result.total_flow, 7.0);
+}
+
+TEST(MaxFlow, FlowLimitStopsEarly) {
+  Graph g(3);
+  g.add_edge(0, 1, 1.0, 100.0);
+  g.add_edge(1, 2, 1.0, 100.0);
+  MaxFlowOptions options;
+  options.flow_limit = 25.0;
+  const auto result = max_flow(g, 0, 2, options);
+  EXPECT_DOUBLE_EQ(result.total_flow, 25.0);
+}
+
+TEST(MaxFlow, MaxPathsBound) {
+  Graph g(6);
+  for (NodeId mid = 1; mid <= 4; ++mid) {
+    g.add_edge(0, mid, 1.0, 1.0);
+    g.add_edge(mid, 5, 1.0, 1.0);
+  }
+  MaxFlowOptions options;
+  options.max_paths = 2;
+  const auto result = max_flow(g, 0, 5, options);
+  EXPECT_EQ(result.paths.size(), 2u);
+  EXPECT_DOUBLE_EQ(result.total_flow, 2.0);
+}
+
+TEST(MaxFlow, AsymmetricDirectionCapacities) {
+  Graph g(2);
+  g.add_edge(0, 1, 1.0, 0.0);
+  std::vector<double> fwd{9.0};   // 0->1 of stored edge
+  std::vector<double> bwd{2.0};   // 1->0
+  MaxFlowOptions options;
+  options.forward_capacity = &fwd;
+  options.backward_capacity = &bwd;
+  EXPECT_DOUBLE_EQ(max_flow(g, 0, 1, options).total_flow, 9.0);
+  EXPECT_DOUBLE_EQ(max_flow(g, 1, 0, options).total_flow, 2.0);
+}
+
+TEST(MaxFlow, DisconnectedIsZero) {
+  Graph g(4);
+  g.add_edge(0, 1, 1.0, 5.0);
+  const auto result = max_flow(g, 0, 3);
+  EXPECT_DOUBLE_EQ(result.total_flow, 0.0);
+  EXPECT_TRUE(result.paths.empty());
+}
+
+TEST(MaxFlow, PathsCarryTheFlow) {
+  Graph g(4);
+  g.add_edge(0, 1, 1.0, 10.0);
+  g.add_edge(1, 3, 1.0, 5.0);
+  g.add_edge(0, 2, 1.0, 4.0);
+  g.add_edge(2, 3, 1.0, 8.0);
+  const auto result = max_flow(g, 0, 3);
+  double sum = 0.0;
+  for (const auto& fp : result.paths) {
+    EXPECT_GT(fp.flow, 0.0);
+    EXPECT_TRUE(is_valid_path(g, fp.path));
+    sum += fp.flow;
+  }
+  EXPECT_DOUBLE_EQ(sum, result.total_flow);
+}
+
+// Property: max flow can never exceed the degree cut at source or sink.
+class MaxFlowPropertyTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(MaxFlowPropertyTest, BoundedByTrivialCuts) {
+  common::Rng rng(GetParam());
+  Graph g = watts_strogatz(30, 4, 0.3, rng);
+  for (EdgeId e = 0; e < g.edge_count(); ++e) g.set_capacity(e, rng.uniform(1, 50));
+  const NodeId s = 0, t = 15;
+  double s_cut = 0.0, t_cut = 0.0;
+  for (const auto& half : g.neighbors(s)) s_cut += g.edge(half.edge).capacity;
+  for (const auto& half : g.neighbors(t)) t_cut += g.edge(half.edge).capacity;
+  const auto result = max_flow(g, s, t);
+  EXPECT_LE(result.total_flow, std::min(s_cut, t_cut) + 1e-9);
+  EXPECT_GT(result.total_flow, 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MaxFlowPropertyTest,
+                         ::testing::Values(100, 200, 300, 400, 500));
+
+}  // namespace
+}  // namespace splicer::graph

@@ -1,0 +1,101 @@
+#include "placement/milp_solver.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.h"
+#include "placement/cost_model.h"
+#include "placement/exhaustive_solver.h"
+
+namespace splicer::placement {
+namespace {
+
+PlacementInstance small_instance(std::uint64_t seed, std::size_t nodes,
+                                 std::size_t candidates, double omega) {
+  common::Rng rng(seed);
+  const auto g = graph::watts_strogatz(nodes, 4, 0.2, rng);
+  return build_instance_by_degree(g, candidates, omega);
+}
+
+TEST(MilpBuilder, VariableAndConstraintCounts) {
+  const auto instance = small_instance(1, 12, 3, 0.1);
+  const std::size_t n = 3, m = instance.client_count();
+  const auto tight = build_placement_milp(instance, MilpFormulation::kTight);
+  // Vars: x(n) + y(mn) + theta(n^2) + phi(n^2 m).
+  EXPECT_EQ(tight.variable_count(), n + m * n + n * n + n * n * m);
+  // Tight constraints: m assignment + mn linking + n^2 theta + n^2 m phi.
+  EXPECT_EQ(tight.constraint_count(), m + m * n + n * n + n * n * m);
+
+  const auto faithful = build_placement_milp(instance, MilpFormulation::kFaithful);
+  // Faithful adds 2 upper links per theta and per phi.
+  EXPECT_EQ(faithful.constraint_count(),
+            tight.constraint_count() + 2 * n * n + 2 * n * n * m);
+}
+
+TEST(MilpSolver, MatchesExhaustiveOnTinyInstance) {
+  const auto instance = small_instance(2, 12, 3, 0.1);
+  const auto exact = solve_exhaustive(instance);
+  const auto milp = solve_milp(instance);
+  ASSERT_EQ(milp.status, lp::SolveStatus::kOptimal);
+  EXPECT_NEAR(milp.costs.balance, exact.costs.balance, 1e-6);
+}
+
+TEST(MilpSolver, FormulationsAgree) {
+  const auto instance = small_instance(3, 10, 3, 0.3);
+  MilpOptions tight;
+  tight.formulation = MilpFormulation::kTight;
+  MilpOptions faithful;
+  faithful.formulation = MilpFormulation::kFaithful;
+  const auto a = solve_milp(instance, tight);
+  const auto b = solve_milp(instance, faithful);
+  ASSERT_EQ(a.status, lp::SolveStatus::kOptimal);
+  ASSERT_EQ(b.status, lp::SolveStatus::kOptimal);
+  EXPECT_NEAR(a.costs.balance, b.costs.balance, 1e-6);
+}
+
+TEST(MilpSolver, WarmStartDoesNotChangeOptimum) {
+  const auto instance = small_instance(4, 12, 3, 0.2);
+  MilpOptions with_warm;
+  with_warm.warm_start_from_approximation = true;
+  MilpOptions without_warm;
+  without_warm.warm_start_from_approximation = false;
+  const auto a = solve_milp(instance, with_warm);
+  const auto b = solve_milp(instance, without_warm);
+  ASSERT_EQ(a.status, lp::SolveStatus::kOptimal);
+  ASSERT_EQ(b.status, lp::SolveStatus::kOptimal);
+  EXPECT_NEAR(a.costs.balance, b.costs.balance, 1e-6);
+}
+
+TEST(MilpSolver, PlanIsInternallyConsistent) {
+  const auto instance = small_instance(5, 14, 4, 0.1);
+  const auto milp = solve_milp(instance);
+  ASSERT_EQ(milp.status, lp::SolveStatus::kOptimal);
+  EXPECT_GE(milp.plan.hub_count(), 1u);
+  for (const auto a : milp.plan.assignment) {
+    EXPECT_TRUE(milp.plan.placed[a]);
+  }
+  // Reported cost equals recomputed cost of the plan.
+  EXPECT_NEAR(milp.costs.balance, balance_cost(instance, milp.plan).balance, 1e-9);
+}
+
+// Property sweep: MILP == exhaustive across seeds and omegas (the MILP
+// linearisation eqs. (6)-(10) is exact).
+class MilpEquivalenceTest
+    : public ::testing::TestWithParam<std::tuple<std::uint64_t, double>> {};
+
+TEST_P(MilpEquivalenceTest, MilpEqualsExhaustive) {
+  const auto [seed, omega] = GetParam();
+  const auto instance = small_instance(seed, 12, 4, omega);
+  const auto exact = solve_exhaustive(instance);
+  const auto milp = solve_milp(instance);
+  ASSERT_EQ(milp.status, lp::SolveStatus::kOptimal)
+      << "nodes explored: " << milp.stats.nodes_explored;
+  EXPECT_NEAR(milp.costs.balance, exact.costs.balance, 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SeedsAndOmegas, MilpEquivalenceTest,
+    ::testing::Combine(::testing::Values(10, 20, 30),
+                       ::testing::Values(0.05, 0.2, 0.8)));
+
+}  // namespace
+}  // namespace splicer::placement

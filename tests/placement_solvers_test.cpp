@@ -1,0 +1,116 @@
+#include "placement/approx_solver.h"
+#include "placement/exhaustive_solver.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.h"
+#include "placement/assignment.h"
+#include "placement/cost_model.h"
+
+namespace splicer::placement {
+namespace {
+
+PlacementInstance random_instance(std::uint64_t seed, std::size_t nodes,
+                                  std::size_t candidates, double omega,
+                                  bool uniform_delta = false) {
+  common::Rng rng(seed);
+  const auto g = graph::watts_strogatz(nodes, 6, 0.2, rng);
+  CostCoefficients coefficients;
+  coefficients.uniform_delta = uniform_delta;
+  return build_instance_by_degree(g, candidates, omega, coefficients);
+}
+
+TEST(Exhaustive, EvaluatesAllNonEmptySubsets) {
+  const auto instance = random_instance(1, 30, 5, 0.1);
+  const auto result = solve_exhaustive(instance);
+  EXPECT_EQ(result.subsets_evaluated, 31u);  // 2^5 - 1
+  EXPECT_GE(result.plan.hub_count(), 1u);
+}
+
+TEST(Exhaustive, OptimumBeatsEverySingleHub) {
+  const auto instance = random_instance(2, 40, 6, 0.2);
+  const auto best = solve_exhaustive(instance).costs.balance;
+  for (std::size_t n = 0; n < 6; ++n) {
+    submodular::Subset single(6, 0);
+    single[n] = 1;
+    const auto plan = optimal_assignment(instance, single);
+    EXPECT_LE(best, balance_cost(instance, plan).balance + 1e-12);
+  }
+}
+
+TEST(Exhaustive, RejectsHugeCandidateSets) {
+  PlacementInstance instance = random_instance(3, 30, 5, 0.1);
+  instance.candidates.resize(25);  // force the guard
+  EXPECT_THROW((void)solve_exhaustive(instance), std::invalid_argument);
+}
+
+TEST(Approx, ProducesValidPlan) {
+  const auto instance = random_instance(4, 60, 8, 0.1);
+  const auto result = solve_approx(instance);
+  EXPECT_GE(result.plan.hub_count(), 1u);
+  EXPECT_EQ(result.plan.assignment.size(), instance.client_count());
+  for (const auto a : result.plan.assignment) {
+    EXPECT_TRUE(result.plan.placed[a]) << "client assigned to unplaced hub";
+  }
+  EXPECT_GT(result.oracle_calls, 0u);
+}
+
+// Property sweep: on uniform-delta (Lemma-2 supermodular) instances the
+// double greedy's cost stays within a small factor of the exhaustive
+// optimum across seeds and omegas.
+class ApproxQualityTest
+    : public ::testing::TestWithParam<std::tuple<std::uint64_t, double>> {};
+
+TEST_P(ApproxQualityTest, CloseToOptimalUnderLemma2Conditions) {
+  const auto [seed, omega] = GetParam();
+  const auto instance = random_instance(seed, 50, 8, omega, /*uniform=*/true);
+  const auto exact = solve_exhaustive(instance);
+  const auto approx = solve_approx(instance);
+  EXPECT_GE(approx.costs.balance, exact.costs.balance - 1e-9);
+  // Empirically the double greedy tracks the optimum closely (Fig. 9(a));
+  // enforce a conservative 1.6x envelope.
+  EXPECT_LE(approx.costs.balance, exact.costs.balance * 1.6 + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SeedsAndOmegas, ApproxQualityTest,
+    ::testing::Combine(::testing::Values(1, 2, 3, 4, 5),
+                       ::testing::Values(0.02, 0.1, 0.4)));
+
+TEST(ApproxRandomized, ValidAndReasonable) {
+  const auto instance = random_instance(6, 50, 8, 0.1, /*uniform=*/true);
+  common::Rng rng(7);
+  const auto exact = solve_exhaustive(instance);
+  const auto result = solve_approx_randomized(instance, rng);
+  EXPECT_GE(result.plan.hub_count(), 1u);
+  EXPECT_LE(result.costs.balance, exact.costs.balance * 2.0);
+}
+
+TEST(GreedyDescentSolver, ReachesLocalOptimum) {
+  const auto instance = random_instance(8, 50, 7, 0.1);
+  const auto result = solve_greedy_descent(instance);
+  EXPECT_GE(result.plan.hub_count(), 1u);
+  // Local optimality: no single toggle improves.
+  const auto f = placement_set_function(instance);
+  submodular::Subset s(instance.candidate_count());
+  for (std::size_t i = 0; i < s.size(); ++i) s[i] = result.plan.placed[i];
+  const double base = f.value(s);
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    s[i] ^= 1;
+    EXPECT_GE(f.value(s), base - 1e-9);
+    s[i] ^= 1;
+  }
+}
+
+TEST(HubCountTrend, MoreManagementWeightMeansMoreHubs) {
+  // Fig. 9(c)/(d): small omega (management-dominated) places more hubs
+  // than large omega (synchronisation-dominated).
+  const auto low = random_instance(9, 80, 10, 0.01);
+  const auto high = random_instance(9, 80, 10, 1.0);
+  const auto hubs_low = solve_exhaustive(low).plan.hub_count();
+  const auto hubs_high = solve_exhaustive(high).plan.hub_count();
+  EXPECT_GE(hubs_low, hubs_high);
+}
+
+}  // namespace
+}  // namespace splicer::placement

@@ -1,0 +1,124 @@
+#include "common/samplers.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "common/stats.h"
+
+namespace splicer::common {
+namespace {
+
+TEST(LogNormalSampler, CalibratedChannelSizeMatchesPaperStatistics) {
+  // Paper SS V-A: min 10, median 152, mean 403 tokens.
+  Rng rng(1);
+  const auto sampler = make_channel_size_sampler();
+  std::vector<double> samples;
+  RunningStats stats;
+  for (int i = 0; i < 200000; ++i) {
+    const double x = sampler.sample(rng);
+    samples.push_back(x);
+    stats.add(x);
+  }
+  EXPECT_GE(stats.min(), ChannelSizeDefaults::kMinTokens);
+  EXPECT_NEAR(median(samples), ChannelSizeDefaults::kMedianTokens,
+              ChannelSizeDefaults::kMedianTokens * 0.05);
+  EXPECT_NEAR(stats.mean(), ChannelSizeDefaults::kMeanTokens,
+              ChannelSizeDefaults::kMeanTokens * 0.10);
+}
+
+TEST(LogNormalSampler, CalibratedTxnValueMatchesCreditCardStatistics) {
+  Rng rng(2);
+  const auto sampler = make_txn_value_sampler();
+  std::vector<double> samples;
+  RunningStats stats;
+  for (int i = 0; i < 200000; ++i) {
+    const double x = sampler.sample(rng);
+    samples.push_back(x);
+    stats.add(x);
+  }
+  EXPECT_NEAR(median(samples), TxnValueDefaults::kMedianTokens,
+              TxnValueDefaults::kMedianTokens * 0.05);
+  EXPECT_NEAR(stats.mean(), TxnValueDefaults::kMeanTokens,
+              TxnValueDefaults::kMeanTokens * 0.10);
+}
+
+TEST(LogNormalSampler, HeavyTail) {
+  // A calibrated sampler must produce values well above the mean sometimes
+  // ("large-value transactions that the Lightning Network cannot handle").
+  Rng rng(3);
+  const auto sampler = make_txn_value_sampler();
+  double biggest = 0.0;
+  for (int i = 0; i < 50000; ++i) biggest = std::max(biggest, sampler.sample(rng));
+  EXPECT_GT(biggest, 10.0 * TxnValueDefaults::kMeanTokens);
+}
+
+TEST(LogNormalSampler, RejectsBadCalibration) {
+  EXPECT_THROW(LogNormalSampler(0.0, 1.0), std::invalid_argument);
+  EXPECT_THROW(LogNormalSampler(10.0, 5.0), std::invalid_argument);  // mean < median
+}
+
+TEST(LogNormalSampler, FloorApplies) {
+  Rng rng(4);
+  LogNormalSampler s(1.0, 2.0, /*floor=*/0.9);
+  for (int i = 0; i < 10000; ++i) EXPECT_GE(s.sample(rng), 0.9);
+}
+
+TEST(ZipfSampler, UniformWhenSIsZero) {
+  Rng rng(5);
+  ZipfSampler zipf(4, 0.0);
+  std::vector<int> counts(4, 0);
+  const int n = 40000;
+  for (int i = 0; i < n; ++i) ++counts[zipf.sample(rng)];
+  for (const int c : counts) EXPECT_NEAR(c, n / 4, n / 40);
+}
+
+TEST(ZipfSampler, SkewFavoursLowIndices) {
+  Rng rng(6);
+  ZipfSampler zipf(100, 1.2);
+  std::vector<int> counts(100, 0);
+  for (int i = 0; i < 50000; ++i) ++counts[zipf.sample(rng)];
+  EXPECT_GT(counts[0], counts[10] * 3);
+  EXPECT_GT(counts[0], counts[50] * 10);
+}
+
+TEST(ZipfSampler, AllIndicesReachable) {
+  Rng rng(7);
+  ZipfSampler zipf(5, 1.0);
+  std::vector<int> counts(5, 0);
+  for (int i = 0; i < 20000; ++i) ++counts[zipf.sample(rng)];
+  for (const int c : counts) EXPECT_GT(c, 0);
+}
+
+TEST(ZipfSampler, RejectsEmptyDomain) {
+  EXPECT_THROW(ZipfSampler(0, 1.0), std::invalid_argument);
+}
+
+TEST(PoissonProcess, ArrivalsAreMonotone) {
+  Rng rng(8);
+  PoissonProcess arrivals(100.0);
+  double prev = 0.0;
+  for (int i = 0; i < 1000; ++i) {
+    const double t = arrivals.next(rng);
+    EXPECT_GT(t, prev);
+    prev = t;
+  }
+}
+
+TEST(PoissonProcess, MeanRateMatches) {
+  Rng rng(9);
+  PoissonProcess arrivals(50.0);
+  double last = 0.0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) last = arrivals.next(rng);
+  EXPECT_NEAR(n / last, 50.0, 2.0);
+}
+
+TEST(PoissonProcess, RejectsNonPositiveRate) {
+  EXPECT_THROW(PoissonProcess(0.0), std::invalid_argument);
+  EXPECT_THROW(PoissonProcess(-1.0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace splicer::common

@@ -1,0 +1,136 @@
+#include "sim/scheduler.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace splicer::sim {
+namespace {
+
+TEST(Scheduler, FiresInTimeOrder) {
+  Scheduler s;
+  std::vector<int> order;
+  s.at(3.0, [&] { order.push_back(3); });
+  s.at(1.0, [&] { order.push_back(1); });
+  s.at(2.0, [&] { order.push_back(2); });
+  s.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(s.now(), 3.0);
+}
+
+TEST(Scheduler, TiesBreakBySchedulingOrder) {
+  Scheduler s;
+  std::vector<int> order;
+  s.at(1.0, [&] { order.push_back(1); });
+  s.at(1.0, [&] { order.push_back(2); });
+  s.at(1.0, [&] { order.push_back(3); });
+  s.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(Scheduler, AfterIsRelative) {
+  Scheduler s;
+  double fired_at = -1.0;
+  s.at(5.0, [&] {
+    s.after(2.5, [&] { fired_at = s.now(); });
+  });
+  s.run();
+  EXPECT_DOUBLE_EQ(fired_at, 7.5);
+}
+
+TEST(Scheduler, PastTimesClampToNow) {
+  Scheduler s;
+  double fired_at = -1.0;
+  s.at(5.0, [&] {
+    s.at(1.0, [&] { fired_at = s.now(); });  // in the past
+  });
+  s.run();
+  EXPECT_DOUBLE_EQ(fired_at, 5.0);
+}
+
+TEST(Scheduler, CancelPreventsExecution) {
+  Scheduler s;
+  bool fired = false;
+  const auto id = s.at(1.0, [&] { fired = true; });
+  EXPECT_TRUE(s.cancel(id));
+  s.run();
+  EXPECT_FALSE(fired);
+}
+
+TEST(Scheduler, CancelTwiceReturnsFalse) {
+  Scheduler s;
+  const auto id = s.at(1.0, [] {});
+  EXPECT_TRUE(s.cancel(id));
+  EXPECT_FALSE(s.cancel(id));
+  EXPECT_FALSE(s.cancel(9999));  // unknown id
+}
+
+TEST(Scheduler, RunUntilStopsEarly) {
+  Scheduler s;
+  int count = 0;
+  s.at(1.0, [&] { ++count; });
+  s.at(2.0, [&] { ++count; });
+  s.at(10.0, [&] { ++count; });
+  const std::size_t executed = s.run(5.0);
+  EXPECT_EQ(executed, 2u);
+  EXPECT_EQ(count, 2);
+  EXPECT_EQ(s.pending(), 1u);
+}
+
+TEST(Scheduler, MaxEventsLimit) {
+  Scheduler s;
+  int count = 0;
+  for (int i = 0; i < 10; ++i) s.at(i, [&] { ++count; });
+  s.run(Scheduler::kForever, 4);
+  EXPECT_EQ(count, 4);
+}
+
+TEST(Scheduler, EveryRepeatsUntilFalse) {
+  Scheduler s;
+  int ticks = 0;
+  s.every(1.0, [&] {
+    ++ticks;
+    return ticks < 5;
+  });
+  s.run();
+  EXPECT_EQ(ticks, 5);
+  EXPECT_DOUBLE_EQ(s.now(), 5.0);
+}
+
+TEST(Scheduler, PendingCountsLiveEvents) {
+  Scheduler s;
+  EXPECT_TRUE(s.empty());
+  const auto a = s.at(1.0, [] {});
+  s.at(2.0, [] {});
+  EXPECT_EQ(s.pending(), 2u);
+  s.cancel(a);
+  EXPECT_EQ(s.pending(), 1u);
+  s.run();
+  EXPECT_TRUE(s.empty());
+}
+
+TEST(Scheduler, StepExecutesExactlyOne) {
+  Scheduler s;
+  int count = 0;
+  s.at(1.0, [&] { ++count; });
+  s.at(2.0, [&] { ++count; });
+  EXPECT_TRUE(s.step());
+  EXPECT_EQ(count, 1);
+  EXPECT_TRUE(s.step());
+  EXPECT_FALSE(s.step());
+}
+
+TEST(Scheduler, EventsScheduledDuringRunExecute) {
+  Scheduler s;
+  std::vector<int> order;
+  s.at(1.0, [&] {
+    order.push_back(1);
+    s.at(1.5, [&] { order.push_back(2); });
+  });
+  s.at(2.0, [&] { order.push_back(3); });
+  s.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+}  // namespace
+}  // namespace splicer::sim

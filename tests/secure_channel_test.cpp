@@ -1,0 +1,71 @@
+#include "crypto/secure_channel.h"
+
+#include <gtest/gtest.h>
+
+namespace splicer::crypto {
+namespace {
+
+TEST(SecureChannel, SealOpenRoundTrip) {
+  SecureChannel sender(0xfeedface);
+  SecureChannel receiver(0xfeedface);
+  const Bytes payload{10, 20, 30};
+  const auto sealed = sender.seal(payload);
+  const auto opened = receiver.open(sealed);
+  ASSERT_TRUE(opened.has_value());
+  EXPECT_EQ(*opened, payload);
+}
+
+TEST(SecureChannel, EstablishSharesKey) {
+  common::Rng rng(1);
+  SecureChannel channel = SecureChannel::establish(rng);
+  SecureChannel peer(channel.key());
+  const auto sealed = channel.seal({1, 2, 3});
+  EXPECT_TRUE(peer.open(sealed).has_value());
+}
+
+TEST(SecureChannel, WrongKeyRejected) {
+  SecureChannel sender(111);
+  SecureChannel receiver(222);
+  const auto sealed = sender.seal({5});
+  EXPECT_FALSE(receiver.open(sealed).has_value());
+}
+
+TEST(SecureChannel, TamperRejected) {
+  SecureChannel sender(7);
+  SecureChannel receiver(7);
+  auto sealed = sender.seal({1, 2, 3, 4});
+  sealed.body[2] ^= 0x80;
+  EXPECT_FALSE(receiver.open(sealed).has_value());
+}
+
+TEST(SecureChannel, ReplayRejected) {
+  SecureChannel sender(9);
+  SecureChannel receiver(9);
+  const auto sealed = sender.seal({1});
+  ASSERT_TRUE(receiver.open(sealed).has_value());
+  EXPECT_FALSE(receiver.open(sealed).has_value());  // same sequence again
+}
+
+TEST(SecureChannel, OutOfOrderOldMessageRejected) {
+  SecureChannel sender(9);
+  SecureChannel receiver(9);
+  const auto first = sender.seal({1});
+  const auto second = sender.seal({2});
+  ASSERT_TRUE(receiver.open(second).has_value());
+  EXPECT_FALSE(receiver.open(first).has_value());  // stale sequence
+}
+
+TEST(SecureChannel, SequencesIncrement) {
+  SecureChannel sender(1);
+  EXPECT_EQ(sender.seal({}).sequence, 1u);
+  EXPECT_EQ(sender.seal({}).sequence, 2u);
+}
+
+TEST(SecureChannel, CiphertextHidesPlaintext) {
+  SecureChannel sender(31337);
+  const Bytes payload{'s', 'e', 'c', 'r', 'e', 't'};
+  EXPECT_NE(sender.seal(payload).body, payload);
+}
+
+}  // namespace
+}  // namespace splicer::crypto

@@ -1,0 +1,85 @@
+#include "crypto/shamir.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace splicer::crypto {
+namespace {
+
+TEST(Shamir, SplitAndReconstruct) {
+  common::Rng rng(1);
+  const std::uint64_t secret = 0x123456789abcdefULL;
+  const auto shares = split_secret(secret, 5, 3, rng);
+  ASSERT_EQ(shares.size(), 5u);
+  EXPECT_EQ(reconstruct_secret({shares[0], shares[1], shares[2]}), secret);
+}
+
+TEST(Shamir, AnyThresholdSubsetWorks) {
+  common::Rng rng(2);
+  const std::uint64_t secret = 42;
+  const auto shares = split_secret(secret, 5, 3, rng);
+  for (std::size_t a = 0; a < 5; ++a) {
+    for (std::size_t b = a + 1; b < 5; ++b) {
+      for (std::size_t c = b + 1; c < 5; ++c) {
+        EXPECT_EQ(reconstruct_secret({shares[a], shares[b], shares[c]}), secret);
+      }
+    }
+  }
+}
+
+TEST(Shamir, MoreThanThresholdStillWorks) {
+  common::Rng rng(3);
+  const std::uint64_t secret = 777;
+  const auto shares = split_secret(secret, 6, 3, rng);
+  EXPECT_EQ(reconstruct_secret(shares), secret);
+}
+
+TEST(Shamir, BelowThresholdGivesWrongSecret) {
+  // With t-1 shares the interpolation is underdetermined; reconstructing
+  // from 2 of a threshold-3 split yields a different polynomial constant.
+  common::Rng rng(4);
+  const std::uint64_t secret = 991;
+  const auto shares = split_secret(secret, 5, 3, rng);
+  EXPECT_NE(reconstruct_secret({shares[0], shares[1]}), secret);
+}
+
+TEST(Shamir, ThresholdOneIsReplication) {
+  common::Rng rng(5);
+  const auto shares = split_secret(5150, 4, 1, rng);
+  for (const auto& share : shares) {
+    EXPECT_EQ(reconstruct_secret({share}), 5150u);
+  }
+}
+
+TEST(Shamir, FullThreshold) {
+  common::Rng rng(6);
+  const std::uint64_t secret = kPrime - 2;
+  const auto shares = split_secret(secret, 4, 4, rng);
+  EXPECT_EQ(reconstruct_secret(shares), secret);
+}
+
+TEST(Shamir, Validation) {
+  common::Rng rng(7);
+  EXPECT_THROW((void)split_secret(1, 3, 0, rng), std::invalid_argument);
+  EXPECT_THROW((void)split_secret(1, 3, 4, rng), std::invalid_argument);
+  EXPECT_THROW((void)split_secret(kPrime, 3, 2, rng), std::invalid_argument);
+  EXPECT_THROW((void)reconstruct_secret({}), std::invalid_argument);
+}
+
+TEST(Shamir, DuplicateSharePointsRejected) {
+  common::Rng rng(8);
+  const auto shares = split_secret(9, 3, 2, rng);
+  EXPECT_THROW((void)reconstruct_secret({shares[0], shares[0]}),
+               std::invalid_argument);
+}
+
+TEST(Shamir, SharesDifferAcrossSplits) {
+  common::Rng rng(9);
+  const auto a = split_secret(1234, 3, 2, rng);
+  const auto b = split_secret(1234, 3, 2, rng);
+  EXPECT_NE(a[0].y, b[0].y);  // fresh polynomial each time
+}
+
+}  // namespace
+}  // namespace splicer::crypto

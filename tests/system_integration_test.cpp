@@ -1,0 +1,76 @@
+// Full-pipeline integration: placement -> transform -> KMG crypto ->
+// routing simulation through the SplicerSystem facade.
+
+#include "splicer/system.h"
+
+#include <gtest/gtest.h>
+
+namespace splicer::core {
+namespace {
+
+SystemOptions small_options(std::uint64_t seed = 5) {
+  SystemOptions options;
+  options.scenario.seed = seed;
+  options.scenario.topology.nodes = 80;
+  options.scenario.placement.candidate_count = 8;
+  options.scenario.workload.payment_count = 300;
+  options.scenario.workload.horizon_seconds = 6.0;
+  options.crypto_sample = 16;
+  return options;
+}
+
+TEST(SplicerSystem, EndToEndRunProducesReport) {
+  SplicerSystem system(small_options());
+  const auto report = system.run();
+  EXPECT_GE(report.hub_count, 1u);
+  EXPECT_GT(report.balance_cost, 0.0);
+  EXPECT_NEAR(report.balance_cost,
+              report.management_cost +
+                  small_options().scenario.placement.omega *
+                      report.synchronization_cost,
+              1e-9);
+  EXPECT_EQ(report.metrics.payments_generated, 300u);
+  EXPECT_GT(report.metrics.tsr(), 0.3);
+  EXPECT_EQ(report.workflows_executed, 16u);
+  EXPECT_EQ(report.workflows_succeeded, 16u);
+  // One tid key + per-TU keys for each sampled workflow.
+  EXPECT_GT(report.kmg_keys_issued, 16u);
+  EXPECT_FALSE(report.summary().empty());
+}
+
+TEST(SplicerSystem, DeterministicReports) {
+  SplicerSystem a(small_options(9)), b(small_options(9));
+  const auto ra = a.run();
+  const auto rb = b.run();
+  EXPECT_EQ(ra.metrics.payments_completed, rb.metrics.payments_completed);
+  EXPECT_EQ(ra.kmg_keys_issued, rb.kmg_keys_issued);
+  EXPECT_DOUBLE_EQ(ra.balance_cost, rb.balance_cost);
+}
+
+TEST(SplicerSystem, ScenarioAccessibleBeforeRun) {
+  SplicerSystem system(small_options());
+  EXPECT_EQ(system.scenario().raw.node_count(), 80u);
+  EXPECT_GE(system.scenario().multi_star.hubs.size(), 1u);
+}
+
+TEST(SplicerSystem, OmegaShiftsHubCount) {
+  auto mgmt_heavy = small_options(13);
+  mgmt_heavy.scenario.placement.omega = 0.01;
+  auto sync_heavy = small_options(13);
+  sync_heavy.scenario.placement.omega = 1.0;
+  SplicerSystem a(std::move(mgmt_heavy)), b(std::move(sync_heavy));
+  EXPECT_GE(a.scenario().multi_star.hubs.size(),
+            b.scenario().multi_star.hubs.size());
+}
+
+TEST(SplicerSystem, CryptoSampleClampedToPaymentCount) {
+  auto options = small_options(15);
+  options.scenario.workload.payment_count = 10;
+  options.crypto_sample = 1000;
+  SplicerSystem system(std::move(options));
+  const auto report = system.run();
+  EXPECT_EQ(report.workflows_executed, 10u);
+}
+
+}  // namespace
+}  // namespace splicer::core

@@ -1,0 +1,76 @@
+#include "common/table.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+namespace splicer::common {
+namespace {
+
+TEST(Table, RenderAlignsColumns) {
+  Table t({"a", "long-header", "c"});
+  t.add_row({"1", "2", "3"});
+  const std::string out = t.render();
+  EXPECT_NE(out.find("long-header"), std::string::npos);
+  EXPECT_NE(out.find("---"), std::string::npos);
+}
+
+TEST(Table, NumericSetters) {
+  Table t({"x", "y", "z"});
+  const auto row = t.add_row();
+  t.set(row, 0, 1.23456, 2);
+  t.set(row, 1, static_cast<std::int64_t>(42));
+  t.set(row, 2, "s");
+  const std::string csv = t.to_csv();
+  EXPECT_NE(csv.find("1.23"), std::string::npos);
+  EXPECT_NE(csv.find("42"), std::string::npos);
+}
+
+TEST(Table, RowWidthMismatchThrows) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), std::invalid_argument);
+}
+
+TEST(Table, EmptyHeaderThrows) {
+  EXPECT_THROW(Table({}), std::invalid_argument);
+}
+
+TEST(Table, CsvEscapesCommasAndQuotes) {
+  Table t({"v"});
+  t.add_row({"a,b"});
+  t.add_row({"say \"hi\""});
+  const std::string csv = t.to_csv();
+  EXPECT_NE(csv.find("\"a,b\""), std::string::npos);
+  EXPECT_NE(csv.find("\"say \"\"hi\"\"\""), std::string::npos);
+}
+
+TEST(Table, WriteCsvRoundTrips) {
+  Table t({"k", "v"});
+  t.add_row({"x", "1"});
+  const std::string path = testing::TempDir() + "/splicer_table_test.csv";
+  t.write_csv(path);
+  std::ifstream in(path);
+  std::string header;
+  std::getline(in, header);
+  EXPECT_EQ(header, "k,v");
+  std::remove(path.c_str());
+}
+
+TEST(Table, WriteCsvBadPathThrows) {
+  Table t({"k"});
+  EXPECT_THROW(t.write_csv("/nonexistent-dir-xyz/file.csv"), std::runtime_error);
+}
+
+TEST(Format, Double) {
+  EXPECT_EQ(format_double(3.14159, 2), "3.14");
+  EXPECT_EQ(format_double(-1.0, 0), "-1");
+}
+
+TEST(Format, Percent) {
+  EXPECT_EQ(format_percent(0.931), "93.1%");
+  EXPECT_EQ(format_percent(1.0, 0), "100%");
+}
+
+}  // namespace
+}  // namespace splicer::common

@@ -1,0 +1,154 @@
+#include "placement/topology_transform.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.h"
+#include "graph/metrics.h"
+#include "placement/cost_model.h"
+#include "placement/exhaustive_solver.h"
+
+namespace splicer::placement {
+namespace {
+
+struct Fixture {
+  pcn::Network raw;
+  PlacementInstance instance;
+  PlacementPlan plan;
+};
+
+Fixture make_fixture(std::uint64_t seed, std::size_t nodes = 60,
+                     std::size_t candidates = 6, double omega = 0.1) {
+  common::Rng rng(seed);
+  auto g = graph::watts_strogatz(nodes, 6, 0.2, rng);
+  pcn::Network raw = pcn::Network::with_sampled_funds(std::move(g), 1.0, rng);
+  auto instance = build_instance_by_degree(raw.topology(), candidates, omega);
+  auto plan = solve_exhaustive(instance).plan;
+  return Fixture{std::move(raw), std::move(instance), std::move(plan)};
+}
+
+TEST(MultiStar, EveryClientHasExactlyOneSpoke) {
+  const auto fx = make_fixture(1);
+  const auto result = build_multi_star(fx.raw, fx.instance, fx.plan);
+  const auto& g = result.network.topology();
+  for (pcn::NodeId v = 0; v < g.node_count(); ++v) {
+    if (result.is_hub[v]) continue;
+    EXPECT_EQ(g.degree(v), 1u) << "client " << v;
+    // The one edge goes to the assigned hub.
+    EXPECT_EQ(g.neighbors(v)[0].to, result.hub_of[v]);
+  }
+}
+
+TEST(MultiStar, HubsMapToThemselves) {
+  const auto fx = make_fixture(2);
+  const auto result = build_multi_star(fx.raw, fx.instance, fx.plan);
+  for (const auto hub : result.hubs) {
+    EXPECT_TRUE(result.is_hub[hub]);
+    EXPECT_EQ(result.hub_of[hub], hub);
+  }
+}
+
+TEST(MultiStar, NetworkIsConnected) {
+  const auto fx = make_fixture(3);
+  const auto result = build_multi_star(fx.raw, fx.instance, fx.plan);
+  EXPECT_TRUE(graph::is_connected(result.network.topology()));
+}
+
+TEST(MultiStar, PlanAssignmentsAreRespected) {
+  const auto fx = make_fixture(4);
+  const auto result = build_multi_star(fx.raw, fx.instance, fx.plan);
+  for (std::size_t m = 0; m < fx.instance.client_count(); ++m) {
+    const auto client = fx.instance.clients[m];
+    const auto hub = fx.instance.candidates[fx.plan.assignment[m]];
+    EXPECT_EQ(result.hub_of[client], hub);
+  }
+}
+
+TEST(MultiStar, SpokeCarriesClientLiquidity) {
+  const auto fx = make_fixture(5);
+  const auto result = build_multi_star(fx.raw, fx.instance, fx.plan);
+  const auto& g = result.network.topology();
+  // Pick one client and verify spoke funds == original liquidity.
+  for (pcn::NodeId v = 0; v < g.node_count(); ++v) {
+    if (result.is_hub[v]) continue;
+    pcn::Amount liquidity = 0;
+    for (const auto& half : fx.raw.topology().neighbors(v)) {
+      const auto& ch = fx.raw.channel(half.edge);
+      liquidity += ch.available(ch.direction_from(v));
+    }
+    liquidity = std::max(liquidity, common::whole_tokens(10));
+    const auto spoke = g.neighbors(v)[0].edge;
+    const auto& ch = result.network.channel(spoke);
+    EXPECT_EQ(ch.available(ch.direction_from(v)), liquidity);
+    break;
+  }
+}
+
+TEST(MultiStar, HubSpokeFactorScalesHubSide) {
+  const auto fx = make_fixture(6);
+  TransformOptions options;
+  options.hub_spoke_factor = 3.0;
+  const auto result = build_multi_star(fx.raw, fx.instance, fx.plan, options);
+  const auto& g = result.network.topology();
+  for (pcn::NodeId v = 0; v < g.node_count(); ++v) {
+    if (result.is_hub[v]) continue;
+    const auto spoke = g.neighbors(v)[0].edge;
+    const auto& ch = result.network.channel(spoke);
+    const auto client_side = ch.available(ch.direction_from(v));
+    const auto hub_side = ch.available(ch.direction_from(result.hub_of[v]));
+    EXPECT_EQ(hub_side, static_cast<pcn::Amount>(client_side * 3.0));
+    break;
+  }
+}
+
+TEST(MultiStar, TrunkFloorGuaranteesUsableTrunks) {
+  const auto fx = make_fixture(7);
+  TransformOptions options;
+  options.min_trunk_side_tokens = 500.0;
+  const auto result = build_multi_star(fx.raw, fx.instance, fx.plan, options);
+  const auto& g = result.network.topology();
+  for (graph::EdgeId e = 0; e < g.edge_count(); ++e) {
+    const auto& edge = g.edge(e);
+    if (result.is_hub[edge.u] && result.is_hub[edge.v]) {
+      const auto& ch = result.network.channel(e);
+      EXPECT_GE(ch.available(pcn::Direction::kForward), common::tokens(500.0));
+      EXPECT_GE(ch.available(pcn::Direction::kBackward), common::tokens(500.0));
+    }
+  }
+}
+
+TEST(MultiStar, MismatchedPlanRejected) {
+  const auto fx = make_fixture(8);
+  PlacementPlan bad = fx.plan;
+  bad.assignment.pop_back();
+  EXPECT_THROW((void)build_multi_star(fx.raw, fx.instance, bad),
+               std::invalid_argument);
+}
+
+TEST(SingleStar, StarShape) {
+  const auto fx = make_fixture(9);
+  const auto result = build_single_star(fx.raw);
+  const auto& g = result.network.topology();
+  ASSERT_EQ(result.hubs.size(), 1u);
+  const auto hub = result.hubs.front();
+  EXPECT_EQ(g.degree(hub), g.node_count() - 1);
+  for (pcn::NodeId v = 0; v < g.node_count(); ++v) {
+    if (v != hub) EXPECT_EQ(g.degree(v), 1u);
+  }
+  EXPECT_TRUE(graph::is_connected(g));
+}
+
+TEST(SingleStar, DefaultHubIsTopDegree) {
+  const auto fx = make_fixture(10);
+  const auto result = build_single_star(fx.raw);
+  EXPECT_EQ(result.hubs.front(),
+            graph::nodes_by_degree(fx.raw.topology()).front());
+}
+
+TEST(SingleStar, ExplicitHubHonoured) {
+  const auto fx = make_fixture(11);
+  const auto result = build_single_star(fx.raw, 5);
+  EXPECT_EQ(result.hubs.front(), 5u);
+}
+
+}  // namespace
+}  // namespace splicer::placement

@@ -1,0 +1,114 @@
+#include "graph/yen.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/rng.h"
+#include "graph/generators.h"
+
+namespace splicer::graph {
+namespace {
+
+Graph textbook() {
+  // Classic Yen example: C-D-F-H grid-ish graph.
+  //   0=C 1=D 2=E 3=F 4=G 5=H
+  Graph g(6);
+  g.add_edge(0, 1, 3.0);  // C-D
+  g.add_edge(0, 2, 2.0);  // C-E
+  g.add_edge(1, 3, 4.0);  // D-F
+  g.add_edge(2, 1, 1.0);  // E-D
+  g.add_edge(2, 3, 2.0);  // E-F
+  g.add_edge(2, 4, 3.0);  // E-G
+  g.add_edge(3, 4, 2.0);  // F-G
+  g.add_edge(3, 5, 1.0);  // F-H
+  g.add_edge(4, 5, 2.0);  // G-H
+  return g;
+}
+
+TEST(Yen, TextbookThreeShortest) {
+  const Graph g = textbook();
+  const auto paths = yen_ksp(g, 0, 5, 3);
+  ASSERT_EQ(paths.size(), 3u);
+  // Undirected answers: C-E-F-H = 5, then two 7s (C-E-G-H and C-D-E-F-H,
+  // the latter using E-D in reverse, which the undirected graph allows).
+  EXPECT_DOUBLE_EQ(paths[0].length, 5.0);
+  EXPECT_EQ(paths[0].nodes, (std::vector<NodeId>{0, 2, 3, 5}));
+  EXPECT_DOUBLE_EQ(paths[1].length, 7.0);
+  EXPECT_DOUBLE_EQ(paths[2].length, 7.0);
+}
+
+TEST(Yen, LengthsNonDecreasing) {
+  common::Rng rng(5);
+  Graph g = watts_strogatz(60, 6, 0.3, rng);
+  const auto paths = yen_ksp(g, 3, 42, 8);
+  for (std::size_t i = 1; i < paths.size(); ++i) {
+    EXPECT_LE(paths[i - 1].length, paths[i].length);
+  }
+}
+
+TEST(Yen, PathsAreSimpleValidAndDistinct) {
+  common::Rng rng(6);
+  Graph g = watts_strogatz(60, 6, 0.3, rng);
+  const auto paths = yen_ksp(g, 0, 30, 10);
+  std::set<std::vector<NodeId>> unique_nodes;
+  for (const auto& p : paths) {
+    EXPECT_TRUE(is_valid_path(g, p));
+    EXPECT_EQ(p.source(), 0u);
+    EXPECT_EQ(p.target(), 30u);
+    EXPECT_TRUE(unique_nodes.insert(p.nodes).second) << "duplicate path";
+  }
+}
+
+TEST(Yen, FewerThanKWhenGraphIsThin) {
+  Graph g(3);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  const auto paths = yen_ksp(g, 0, 2, 5);
+  EXPECT_EQ(paths.size(), 1u);  // only one simple path exists
+}
+
+TEST(Yen, ZeroKOrSameEndpoints) {
+  const Graph g = textbook();
+  EXPECT_TRUE(yen_ksp(g, 0, 5, 0).empty());
+  EXPECT_TRUE(yen_ksp(g, 2, 2, 3).empty());
+}
+
+TEST(Yen, DisconnectedReturnsEmpty) {
+  Graph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(2, 3);
+  EXPECT_TRUE(yen_ksp(g, 0, 3, 2).empty());
+}
+
+TEST(Yen, FirstPathMatchesDijkstra) {
+  common::Rng rng(7);
+  Graph g = watts_strogatz(100, 8, 0.2, rng);
+  for (int trial = 0; trial < 10; ++trial) {
+    const auto s = static_cast<NodeId>(rng.index(100));
+    const auto t = static_cast<NodeId>(rng.index(100));
+    if (s == t) continue;
+    const auto ksp = yen_ksp(g, s, t, 1);
+    const auto sp = shortest_path(g, s, t);
+    ASSERT_EQ(ksp.size(), 1u);
+    ASSERT_TRUE(sp.has_value());
+    EXPECT_DOUBLE_EQ(ksp[0].length, sp->length);
+  }
+}
+
+TEST(HighestFundPaths, PrefersCapacityRichChannels) {
+  // Two routes 0->3: top route capacity 100 each, bottom 1 each.
+  Graph g(6);
+  g.add_edge(0, 1, 1.0, 100.0);
+  g.add_edge(1, 3, 1.0, 100.0);
+  g.add_edge(0, 2, 1.0, 1.0);
+  g.add_edge(2, 3, 1.0, 1.0);
+  const auto paths = highest_fund_paths(g, 0, 3, 2);
+  ASSERT_GE(paths.size(), 1u);
+  EXPECT_EQ(paths[0].nodes, (std::vector<NodeId>{0, 1, 3}));
+  // Reported length is true hop count, not the synthetic weight.
+  EXPECT_DOUBLE_EQ(paths[0].length, 2.0);
+}
+
+}  // namespace
+}  // namespace splicer::graph

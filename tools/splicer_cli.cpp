@@ -1,0 +1,217 @@
+// splicer_cli - command-line front end for the Splicer reproduction.
+//
+//   splicer_cli compare  [--nodes N] [--payments N] [--seed S] [--tau MS]
+//                        [--fund-scale X] [--value-scale X] [--scale-free]
+//       run all six schemes on one shared scenario and print the comparison
+//
+//   splicer_cli place    [--nodes N] [--candidates N] [--omega W] [--seed S]
+//                        [--solver exhaustive|approx|milp|descent]
+//       solve one placement instance and print the plan + costs
+//
+//   splicer_cli workflow [--value TOKENS] [--kmg N] [--seed S]
+//       trace one encrypted payment workflow (Fig. 3) step by step
+//
+//   splicer_cli topology [--nodes N] [--seed S] [--scale-free]
+//       print topology statistics for the generated PCN
+
+#include <cstring>
+#include <iostream>
+#include <map>
+#include <string>
+
+#include "common/table.h"
+#include "graph/generators.h"
+#include "graph/metrics.h"
+#include "placement/approx_solver.h"
+#include "placement/cost_model.h"
+#include "placement/exhaustive_solver.h"
+#include "placement/milp_solver.h"
+#include "routing/experiment.h"
+#include "splicer/workflow.h"
+
+using namespace splicer;
+
+namespace {
+
+/// Minimal --key value / --flag parser.
+class Args {
+ public:
+  Args(int argc, char** argv) {
+    for (int i = 2; i < argc; ++i) {
+      std::string key = argv[i];
+      if (key.rfind("--", 0) != 0) continue;
+      key = key.substr(2);
+      if (i + 1 < argc && std::strncmp(argv[i + 1], "--", 2) != 0) {
+        values_[key] = argv[++i];
+      } else {
+        values_[key] = "1";
+      }
+    }
+  }
+
+  [[nodiscard]] std::uint64_t u64(const std::string& key, std::uint64_t fallback) const {
+    const auto it = values_.find(key);
+    return it == values_.end() ? fallback : std::strtoull(it->second.c_str(), nullptr, 10);
+  }
+  [[nodiscard]] double real(const std::string& key, double fallback) const {
+    const auto it = values_.find(key);
+    return it == values_.end() ? fallback : std::strtod(it->second.c_str(), nullptr);
+  }
+  [[nodiscard]] std::string str(const std::string& key, std::string fallback) const {
+    const auto it = values_.find(key);
+    return it == values_.end() ? fallback : it->second;
+  }
+  [[nodiscard]] bool flag(const std::string& key) const {
+    return values_.count(key) != 0;
+  }
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+routing::ScenarioConfig scenario_from(const Args& args) {
+  routing::ScenarioConfig config;
+  config.seed = args.u64("seed", 42);
+  config.topology.nodes = args.u64("nodes", 100);
+  config.topology.fund_scale = args.real("fund-scale", 1.0);
+  config.topology.scale_free = args.flag("scale-free");
+  config.placement.candidate_count =
+      args.u64("candidates", config.topology.nodes >= 1000 ? 30 : 10);
+  config.placement.prefer_exact = config.topology.nodes < 1000;
+  config.placement.omega = args.real("omega", 0.1);
+  config.workload.payment_count = args.u64("payments", 1500);
+  config.workload.horizon_seconds = args.real("horizon", 25.0);
+  config.workload.value_scale = args.real("value-scale", 1.0);
+  return config;
+}
+
+int cmd_compare(const Args& args) {
+  const auto config = scenario_from(args);
+  std::cout << "preparing scenario: " << config.topology.nodes << " nodes, "
+            << config.workload.payment_count << " payments, seed "
+            << config.seed << "\n";
+  const auto scenario = routing::prepare_scenario(config);
+  std::cout << "placed " << scenario.multi_star.hubs.size()
+            << " smooth nodes; " << scenario.clients.size() << " clients\n\n";
+
+  routing::SchemeConfig scheme_config;
+  scheme_config.protocol.tau_s = args.real("tau", 200.0) / 1000.0;
+
+  common::Table table({"scheme", "TSR", "throughput", "avg delay (ms)",
+                       "TUs sent", "TUs marked", "messages"});
+  for (const auto scheme :
+       {routing::Scheme::kSplicer, routing::Scheme::kSpider,
+        routing::Scheme::kFlash, routing::Scheme::kLandmark,
+        routing::Scheme::kA2l, routing::Scheme::kShortestPath}) {
+    const auto m = routing::run_scheme(scenario, scheme, scheme_config);
+    const auto row = table.add_row();
+    table.set(row, 0, routing::to_string(scheme));
+    table.set(row, 1, common::format_percent(m.tsr()));
+    table.set(row, 2, common::format_percent(m.normalized_throughput()));
+    table.set(row, 3, m.average_delay_s() * 1000.0, 1);
+    table.set(row, 4, static_cast<std::int64_t>(m.tus_sent));
+    table.set(row, 5, static_cast<std::int64_t>(m.tus_marked));
+    table.set(row, 6, static_cast<std::int64_t>(m.messages.total()));
+  }
+  std::cout << table.render();
+  return 0;
+}
+
+int cmd_place(const Args& args) {
+  common::Rng rng(args.u64("seed", 42));
+  const std::size_t nodes = args.u64("nodes", 100);
+  const auto g = args.flag("scale-free")
+                     ? graph::preferential_attachment(nodes, 4, rng)
+                     : graph::watts_strogatz(nodes, 8, 0.15, rng);
+  const auto instance = placement::build_instance_by_degree(
+      g, args.u64("candidates", 10), args.real("omega", 0.1));
+
+  const std::string solver = args.str("solver", "approx");
+  placement::PlacementPlan plan;
+  if (solver == "exhaustive") {
+    plan = placement::solve_exhaustive(instance).plan;
+  } else if (solver == "milp") {
+    const auto result = placement::solve_milp(instance);
+    std::cout << "MILP: " << result.variables << " vars, " << result.constraints
+              << " constraints, " << result.stats.nodes_explored
+              << " B&B nodes, status " << lp::to_string(result.status) << "\n";
+    plan = result.plan;
+  } else if (solver == "descent") {
+    plan = placement::solve_greedy_descent(instance).plan;
+  } else {
+    plan = placement::solve_approx(instance).plan;
+  }
+
+  const auto costs = placement::balance_cost(instance, plan);
+  std::cout << "solver: " << solver << "\nhubs (" << plan.hub_count() << "):";
+  for (std::size_t n = 0; n < instance.candidate_count(); ++n) {
+    if (plan.placed[n]) std::cout << " " << instance.candidates[n];
+  }
+  std::cout << "\nC_B = " << costs.balance << "  (C_M = " << costs.management
+            << ", C_S = " << costs.synchronization << ", omega = "
+            << instance.omega << ")\n";
+  // Per-hub client counts.
+  std::map<std::size_t, std::size_t> load;
+  for (const auto a : plan.assignment) ++load[a];
+  for (const auto& [hub, clients] : load) {
+    std::cout << "  hub " << instance.candidates[hub] << " manages " << clients
+              << " clients\n";
+  }
+  return 0;
+}
+
+int cmd_workflow(const Args& args) {
+  common::Rng rng(args.u64("seed", 42));
+  crypto::KeyManagementGroup kmg(args.u64("kmg", 5), rng.fork());
+  core::PaymentWorkflow workflow(kmg, rng);
+  core::PaymentDemand demand{1, 2, common::tokens(args.real("value", 13.25))};
+  const auto result = workflow.execute(demand);
+  for (const auto& line : result.trace) std::cout << line << "\n";
+  std::cout << "TUs: " << result.tu_count << ", messages: " << result.messages
+            << ", result: " << (result.success ? "SUCCESS" : "FAILURE") << "\n";
+  return result.success ? 0 : 1;
+}
+
+int cmd_topology(const Args& args) {
+  common::Rng rng(args.u64("seed", 42));
+  const std::size_t nodes = args.u64("nodes", 100);
+  const auto g = args.flag("scale-free")
+                     ? graph::preferential_attachment(nodes, 4, rng)
+                     : graph::watts_strogatz(nodes, 8, 0.15, rng);
+  const auto stats = graph::degree_stats(g);
+  std::cout << "nodes: " << g.node_count() << "\nchannels: " << g.edge_count()
+            << "\ndegree: mean " << stats.mean << ", min " << stats.min
+            << ", max " << stats.max
+            << "\nconnected: " << (graph::is_connected(g) ? "yes" : "no")
+            << "\nclustering: " << graph::average_clustering(g);
+  if (nodes <= 2000) {
+    std::cout << "\nmean hops: " << graph::HopMatrix(g).mean_hops();
+  }
+  std::cout << "\n";
+  return 0;
+}
+
+void usage() {
+  std::cout << "usage: splicer_cli <compare|place|workflow|topology> [--key value ...]\n"
+               "  compare   run all routing schemes on one scenario\n"
+               "  place     solve a hub-placement instance\n"
+               "  workflow  trace one encrypted payment (Fig. 3)\n"
+               "  topology  PCN topology statistics\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    usage();
+    return 2;
+  }
+  const std::string command = argv[1];
+  const Args args(argc, argv);
+  if (command == "compare") return cmd_compare(args);
+  if (command == "place") return cmd_place(args);
+  if (command == "workflow") return cmd_workflow(args);
+  if (command == "topology") return cmd_topology(args);
+  usage();
+  return 2;
+}
