@@ -6,6 +6,11 @@
 //   3. no rate control (alpha = 0): windows + queues only
 //   4. no source gating: congestion handled purely in-network
 //   5. TU size bounds sweep (Min/Max-TU)
+//
+// Every variant is an independent simulation over the same scenario, so
+// the whole bench is one parallel task grid.
+//
+// Usage: bench_ablation_rate_control [--threads N]
 
 #include <iostream>
 
@@ -13,63 +18,76 @@
 
 using namespace splicer;
 
-int main() {
+int main(int argc, char** argv) {
   std::cout << "=== Ablation: Splicer rate-control mechanisms ===\n"
             << (bench::fast_mode() ? "(fast mode: quarter workload)\n" : "");
-  const auto scenario = routing::prepare_scenario(bench::small_scale_config());
 
-  common::Table table({"variant", "TSR", "throughput", "avg delay (ms)",
-                       "TUs marked"});
-  const auto run_variant = [&](const std::string& name,
-                               routing::SchemeConfig config) {
-    const auto m = routing::run_scheme(scenario, routing::Scheme::kSplicer, config);
-    const auto row = table.add_row();
-    table.set(row, 0, name);
-    table.set(row, 1, common::format_percent(m.tsr()));
-    table.set(row, 2, common::format_percent(m.normalized_throughput()));
-    table.set(row, 3, m.average_delay_s() * 1000.0, 1);
-    table.set(row, 4, static_cast<std::int64_t>(m.tus_marked));
+  // Mechanism variants (first table), then the TU-bound sweep (second).
+  std::vector<routing::SchemeTask> tasks;
+  const auto add_variant = [&tasks](const std::string& name,
+                                    routing::SchemeConfig config) {
+    tasks.push_back({routing::Scheme::kSplicer, config, name});
   };
-
-  run_variant("full Splicer", {});
+  add_variant("full Splicer", {});
   {
     routing::SchemeConfig config;
     config.protocol.eta = 0.0;  // imbalance price off (eq. 22 disabled)
-    run_variant("no imbalance price (eta=0)", config);
+    add_variant("no imbalance price (eta=0)", config);
   }
   {
     routing::SchemeConfig config;
     config.protocol.alpha = 0.0;  // rates frozen at initial (eq. 26 disabled)
-    run_variant("no rate control (alpha=0)", config);
+    add_variant("no rate control (alpha=0)", config);
   }
   {
     routing::SchemeConfig config;
     config.protocol.source_gating = false;
-    run_variant("no source gating", config);
+    add_variant("no source gating", config);
   }
   {
     routing::SchemeConfig config;
     config.protocol.source_gating = false;
     config.protocol.eta = 0.0;
     config.protocol.alpha = 0.0;
-    run_variant("windows/queues only (all pricing off)", config);
+    add_variant("windows/queues only (all pricing off)", config);
   }
-  bench::emit("rate-control ablation", table, "ablation_rate_control");
+  const std::size_t variant_count = tasks.size();
 
-  // TU size bounds sweep.
-  common::Table tu_table({"Min-TU / Max-TU (tokens)", "TSR", "throughput",
-                          "TUs per payment"});
-  for (const auto& [min_tu, max_tu] :
-       std::vector<std::pair<double, double>>{
-           {1, 2}, {1, 4}, {1, 8}, {2, 8}, {1, 16}, {4, 16}}) {
+  const std::vector<std::pair<double, double>> tu_bounds{
+      {1, 2}, {1, 4}, {1, 8}, {2, 8}, {1, 16}, {4, 16}};
+  for (const auto& [min_tu, max_tu] : tu_bounds) {
     routing::SchemeConfig config;
     config.protocol.min_tu = common::tokens(min_tu);
     config.protocol.max_tu = common::tokens(max_tu);
-    const auto m = routing::run_scheme(scenario, routing::Scheme::kSplicer, config);
+    add_variant(common::format_double(min_tu, 0) + " / " +
+                    common::format_double(max_tu, 0),
+                config);
+  }
+
+  routing::ParallelRunner runner(
+      {bench::thread_count(argc, argv), /*trials=*/1});
+  const auto results =
+      runner.run({bench::small_scale_config()}, tasks).front();
+
+  common::Table table({"variant", "TSR", "throughput", "avg delay (ms)",
+                       "TUs marked"});
+  for (std::size_t t = 0; t < variant_count; ++t) {
+    const auto& m = results[t].first();
+    const auto row = table.add_row();
+    table.set(row, 0, tasks[t].name());
+    table.set(row, 1, common::format_percent(m.tsr()));
+    table.set(row, 2, common::format_percent(m.normalized_throughput()));
+    table.set(row, 3, m.average_delay_s() * 1000.0, 1);
+    table.set(row, 4, static_cast<std::int64_t>(m.tus_marked));
+  }
+  bench::emit("rate-control ablation", table, "ablation_rate_control");
+
+  common::Table tu_table({"Min-TU / Max-TU (tokens)", "TSR", "throughput",
+                          "TUs per payment"});
+  for (std::size_t t = variant_count; t < tasks.size(); ++t) {
+    const auto& m = results[t].first();
     const auto row = tu_table.add_row();
-    tu_table.set(row, 0,
-                 common::format_double(min_tu, 0) + " / " +
-                     common::format_double(max_tu, 0));
+    tu_table.set(row, 0, tasks[t].name());
     tu_table.set(row, 1, common::format_percent(m.tsr()));
     tu_table.set(row, 2, common::format_percent(m.normalized_throughput()));
     tu_table.set(row, 3,

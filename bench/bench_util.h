@@ -2,23 +2,41 @@
 
 // Shared helpers for the figure/table reproduction benches.
 //
+// Every bench accepts `--threads N` (0 = one worker per hardware thread,
+// the default) to size the parallel experiment runner.
+//
 // Environment knobs:
-//   SPLICER_BENCH_FAST=1   quarter-size workloads (smoke runs / CI)
-//   SPLICER_BENCH_SEED=N   override the base seed (default 42)
-//   SPLICER_BENCH_CSV=dir  also write each table as CSV into `dir`
+//   SPLICER_BENCH_FAST=1      quarter-size workloads (smoke runs / CI)
+//   SPLICER_BENCH_SEED=N      override the base seed (default 42)
+//   SPLICER_BENCH_CSV=dir     also write each table as CSV into `dir`
+//   SPLICER_BENCH_THREADS=N   default for --threads
 
 #include <cstdlib>
+#include <cstring>
 #include <iostream>
 #include <string>
 
 #include "common/table.h"
 #include "routing/experiment.h"
+#include "routing/parallel_experiment.h"
 
 namespace splicer::bench {
 
 inline bool fast_mode() {
   const char* v = std::getenv("SPLICER_BENCH_FAST");
   return v != nullptr && v[0] == '1';
+}
+
+/// Worker count for the parallel runner: --threads N beats
+/// SPLICER_BENCH_THREADS beats 0 (= all hardware threads).
+inline std::size_t thread_count(int argc, char** argv) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], "--threads") == 0) {
+      return std::strtoull(argv[i + 1], nullptr, 10);
+    }
+  }
+  const char* v = std::getenv("SPLICER_BENCH_THREADS");
+  return v != nullptr ? std::strtoull(v, nullptr, 10) : 0;
 }
 
 inline std::uint64_t base_seed() {

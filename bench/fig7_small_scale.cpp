@@ -1,12 +1,15 @@
 // Reproduces paper Fig. 7: Splicer vs Spider/Flash/Landmark/A2L on the
 // small-scale network (100 nodes), four panels (see fig_common.h).
+//
+// Usage: bench_fig7_small_scale [--threads N]   (0 = all hardware threads)
 
 #include "fig_common.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace splicer;
   std::cout << "=== Fig. 7: small-scale network (100 nodes) ===\n"
             << (bench::fast_mode() ? "(fast mode: quarter workload)\n" : "");
-  bench::run_figure("fig7", bench::small_scale_config());
+  bench::run_figure("fig7", bench::small_scale_config(),
+                    bench::thread_count(argc, argv));
   return 0;
 }

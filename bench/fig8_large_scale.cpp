@@ -3,13 +3,16 @@
 // large-scale). Splicer's margin should widen here: source-routing senders
 // pay route-computation costs that grow with the topology, and the A2L
 // single hub saturates under the larger offered load.
+//
+// Usage: bench_fig8_large_scale [--threads N]   (0 = all hardware threads)
 
 #include "fig_common.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace splicer;
   std::cout << "=== Fig. 8: large-scale network (3000 nodes) ===\n"
             << (bench::fast_mode() ? "(fast mode: quarter workload)\n" : "");
-  bench::run_figure("fig8", bench::large_scale_config());
+  bench::run_figure("fig8", bench::large_scale_config(),
+                    bench::thread_count(argc, argv));
   return 0;
 }

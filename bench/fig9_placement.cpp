@@ -6,14 +6,21 @@
 //   (e) avg transaction delay vs total traffic overhead, small scale,
 //       with PCHs (iterating omega) vs without PCHs (source routing)
 //   (f) same at large scale
+//
+// The omega sweeps (independent placement solves) shard across a
+// ThreadPool; the routing panels fan out through the ParallelRunner.
+//
+// Usage: bench_fig9_placement [--threads N]   (0 = all hardware threads)
 
 #include <iostream>
+#include <optional>
 
 #include "bench_util.h"
 #include "graph/generators.h"
 #include "placement/approx_solver.h"
 #include "placement/cost_model.h"
 #include "placement/exhaustive_solver.h"
+#include "sim/thread_pool.h"
 
 using namespace splicer;
 
@@ -21,17 +28,30 @@ namespace {
 
 const std::vector<double> kOmegas{0.01, 0.02, 0.04, 0.08, 0.16, 0.32, 0.64, 1.0};
 
-void panels_abc(const graph::Graph& g, std::size_t candidates) {
+void panels_abc(const graph::Graph& g, std::size_t candidates,
+                sim::ThreadPool& pool) {
+  struct OmegaPoint {
+    placement::ExhaustiveResult exact;
+    placement::ApproxResult approx;
+  };
+  std::vector<OmegaPoint> points(kOmegas.size());
+  pool.parallel_for(kOmegas.size(), [&](std::size_t i) {
+    const auto instance =
+        placement::build_instance_by_degree(g, candidates, kOmegas[i]);
+    points[i] = {placement::solve_exhaustive(instance),
+                 placement::solve_approx(instance)};
+  });
+
   common::Table cost_table(
       {"omega", "optimal C_B", "approx C_B", "approx/optimal"});
   common::Table tradeoff_table(
       {"omega", "#hubs", "C_M (management)", "C_S (synchronisation)"});
   common::Table hubs_table({"omega", "#hubs optimal", "#hubs approx"});
 
-  for (const double omega : kOmegas) {
-    const auto instance = placement::build_instance_by_degree(g, candidates, omega);
-    const auto exact = placement::solve_exhaustive(instance);
-    const auto approx = placement::solve_approx(instance);
+  for (std::size_t i = 0; i < kOmegas.size(); ++i) {
+    const double omega = kOmegas[i];
+    const auto& exact = points[i].exact;
+    const auto& approx = points[i].approx;
 
     auto row = cost_table.add_row();
     cost_table.set(row, 0, omega, 2);
@@ -58,41 +78,69 @@ void panels_abc(const graph::Graph& g, std::size_t candidates) {
               hubs_table, "fig9c_hub_count_small");
 }
 
-void panel_d() {
+void panel_d(sim::ThreadPool& pool) {
   common::Rng rng(bench::base_seed());
   const auto g = graph::watts_strogatz(3000, 8, 0.15, rng);
+  std::vector<std::size_t> hub_counts(kOmegas.size());
+  pool.parallel_for(kOmegas.size(), [&](std::size_t i) {
+    const auto instance = placement::build_instance_by_degree(g, 30, kOmegas[i]);
+    hub_counts[i] = placement::solve_approx(instance).plan.hub_count();
+  });
+
   common::Table table({"omega", "#hubs (double greedy)"});
-  for (const double omega : kOmegas) {
-    const auto instance = placement::build_instance_by_degree(g, 30, omega);
-    const auto approx = placement::solve_approx(instance);
+  for (std::size_t i = 0; i < kOmegas.size(); ++i) {
     const auto row = table.add_row();
-    table.set(row, 0, omega, 2);
-    table.set(row, 1, static_cast<std::int64_t>(approx.plan.hub_count()));
+    table.set(row, 0, kOmegas[i], 2);
+    table.set(row, 1, static_cast<std::int64_t>(hub_counts[i]));
   }
   bench::emit("fig9(d) number of smooth nodes vs omega (large scale, 3000 nodes)",
               table, "fig9d_hub_count_large");
 }
 
 void panels_ef(const char* label, routing::ScenarioConfig base,
-               const std::string& csv) {
-  common::Table table(
-      {"configuration", "avg delay (ms)", "total overhead (messages)", "TSR"});
-  for (const double omega : {0.01, 0.04, 0.16, 0.64}) {
+               const std::string& csv, sim::ThreadPool& pool,
+               routing::ParallelRunner& runner) {
+  const std::vector<double> omegas{0.01, 0.04, 0.16, 0.64};
+  std::vector<routing::ScenarioConfig> configs;
+  for (const double omega : omegas) {
     auto config = base;
     config.placement.omega = omega;
-    const auto scenario = routing::prepare_scenario(config);
-    const auto m = routing::run_scheme(scenario, routing::Scheme::kSplicer);
+    configs.push_back(config);
+  }
+  configs.push_back(base);  // Spider baseline point
+
+  // Prepare every evaluation point in parallel, keeping the scenarios so
+  // the table can report the resulting hub counts.
+  std::vector<std::optional<routing::Scenario>> slots(configs.size());
+  pool.parallel_for(configs.size(), [&](std::size_t i) {
+    slots[i] = routing::prepare_scenario(configs[i]);
+  });
+  std::vector<routing::Scenario> with_pchs;
+  for (std::size_t i = 0; i < omegas.size(); ++i) {
+    with_pchs.push_back(std::move(*slots[i]));
+  }
+  std::vector<routing::Scenario> baseline;
+  baseline.push_back(std::move(*slots.back()));
+
+  const auto splicer_results =
+      runner.run_prepared(with_pchs, {{routing::Scheme::kSplicer, {}, {}}});
+  // Without smooth nodes: source routing (Spider) fixed point.
+  const auto spider_results =
+      runner.run_prepared(baseline, {{routing::Scheme::kSpider, {}, {}}});
+
+  common::Table table(
+      {"configuration", "avg delay (ms)", "total overhead (messages)", "TSR"});
+  for (std::size_t i = 0; i < omegas.size(); ++i) {
+    const auto& m = splicer_results[i].front().first();
     const auto row = table.add_row();
     table.set(row, 0,
-              "with PCHs, omega=" + common::format_double(omega, 2) + " (" +
-                  std::to_string(scenario.multi_star.hubs.size()) + " hubs)");
+              "with PCHs, omega=" + common::format_double(omegas[i], 2) + " (" +
+                  std::to_string(with_pchs[i].multi_star.hubs.size()) + " hubs)");
     table.set(row, 1, m.average_delay_s() * 1000.0, 1);
     table.set(row, 2, static_cast<std::int64_t>(m.messages.total()));
     table.set(row, 3, common::format_percent(m.tsr()));
   }
-  // Without smooth nodes: source routing (Spider) fixed point.
-  const auto scenario = routing::prepare_scenario(base);
-  const auto spider = routing::run_scheme(scenario, routing::Scheme::kSpider);
+  const auto& spider = spider_results.front().front().first();
   const auto row = table.add_row();
   table.set(row, 0, "without PCHs (source routing)");
   table.set(row, 1, spider.average_delay_s() * 1000.0, 1);
@@ -103,19 +151,23 @@ void panels_ef(const char* label, routing::ScenarioConfig base,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   std::cout << "=== Fig. 9: smooth-node placement evaluation ===\n"
             << (bench::fast_mode() ? "(fast mode: quarter workload)\n" : "");
 
+  const std::size_t threads = bench::thread_count(argc, argv);
+  sim::ThreadPool pool(threads);
+  routing::ParallelRunner runner({threads, /*trials=*/1});
+
   common::Rng rng(bench::base_seed());
   const auto g_small = graph::watts_strogatz(100, 8, 0.15, rng);
-  panels_abc(g_small, 12);
-  panel_d();
+  panels_abc(g_small, 12, pool);
+  panel_d(pool);
   panels_ef("fig9(e) delay vs overhead, small scale", bench::small_scale_config(),
-            "fig9e_delay_overhead_small");
+            "fig9e_delay_overhead_small", pool, runner);
   auto large = bench::large_scale_config();
   large.workload.payment_count = bench::scaled(2000);
   panels_ef("fig9(f) delay vs overhead, large scale", large,
-            "fig9f_delay_overhead_large");
+            "fig9f_delay_overhead_large", pool, runner);
   return 0;
 }

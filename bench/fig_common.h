@@ -4,17 +4,25 @@
 // (TSR vs channel size, TSR vs transaction size, TSR vs update time,
 // normalised throughput) at the two network scales, comparing the five
 // schemes. One driver, two scale configs.
+//
+// All (sweep point × scheme) simulations fan out across the parallel
+// runner; results are merged back in sweep order, so the tables are
+// byte-identical to the old strictly-sequential driver's output.
 
+#include <algorithm>
 #include <iostream>
+#include <string>
 #include <vector>
 
 #include "bench_util.h"
 
 namespace splicer::bench {
 
-inline void run_figure(const std::string& figure, routing::ScenarioConfig base) {
+inline void run_figure(const std::string& figure, routing::ScenarioConfig base,
+                       std::size_t threads) {
   using routing::Scheme;
   const auto schemes = routing::comparison_schemes();
+  routing::ParallelRunner runner({threads, /*trials=*/1});
 
   const auto scheme_header = [&] {
     std::vector<std::string> header{"sweep"};
@@ -22,59 +30,82 @@ inline void run_figure(const std::string& figure, routing::ScenarioConfig base) 
     return header;
   };
 
-  // ---- (a) TSR vs channel size -----------------------------------------
+  // ---- (a) TSR vs channel size + (b) TSR vs transaction size ------------
+  // One joint fan-out: the two panels sweep disjoint knobs over the same
+  // scheme set, so their scenarios batch into a single parallel run.
+  const std::vector<double> channel_scales{0.5, 1.0, 2.0, 4.0, 8.0};
+  const std::vector<double> value_scales{0.25, 0.5, 1.0, 2.0, 4.0};
   {
-    common::Table table(scheme_header());
-    for (const double scale : {0.5, 1.0, 2.0, 4.0, 8.0}) {
+    std::vector<routing::ScenarioConfig> scenarios;
+    for (const double scale : channel_scales) {
       auto config = base;
       config.topology.fund_scale = scale;
-      const auto scenario = routing::prepare_scenario(config);
-      const auto row = table.add_row();
-      table.set(row, 0, "x" + common::format_double(scale, 1));
-      for (std::size_t i = 0; i < schemes.size(); ++i) {
-        const auto m = routing::run_scheme(scenario, schemes[i]);
-        table.set(row, i + 1, common::format_percent(m.tsr()));
-      }
+      scenarios.push_back(config);
     }
-    emit(figure + "(a) TSR vs channel size (x mean 403 tokens)", table,
-         figure + "a_channel_size");
-  }
-
-  // ---- (b) TSR vs transaction size --------------------------------------
-  {
-    common::Table table(scheme_header());
-    for (const double scale : {0.25, 0.5, 1.0, 2.0, 4.0}) {
+    for (const double scale : value_scales) {
       auto config = base;
       config.workload.value_scale = scale;
-      const auto scenario = routing::prepare_scenario(config);
-      const auto row = table.add_row();
-      table.set(row, 0, "x" + common::format_double(scale, 2));
+      scenarios.push_back(config);
+    }
+
+    const auto results = runner.run(scenarios, routing::comparison_tasks());
+
+    common::Table channel_table(scheme_header());
+    for (std::size_t row_idx = 0; row_idx < channel_scales.size(); ++row_idx) {
+      const auto row = channel_table.add_row();
+      channel_table.set(row, 0,
+                        "x" + common::format_double(channel_scales[row_idx], 1));
       for (std::size_t i = 0; i < schemes.size(); ++i) {
-        const auto m = routing::run_scheme(scenario, schemes[i]);
-        table.set(row, i + 1, common::format_percent(m.tsr()));
+        channel_table.set(row, i + 1,
+                          common::format_percent(results[row_idx][i].first().tsr()));
       }
     }
-    emit(figure + "(b) TSR vs transaction size (x credit-card mean 88)", table,
-         figure + "b_txn_size");
+    emit(figure + "(a) TSR vs channel size (x mean 403 tokens)", channel_table,
+         figure + "a_channel_size");
+
+    common::Table value_table(scheme_header());
+    for (std::size_t row_idx = 0; row_idx < value_scales.size(); ++row_idx) {
+      const auto row = value_table.add_row();
+      value_table.set(row, 0,
+                      "x" + common::format_double(value_scales[row_idx], 2));
+      const auto& point = results[channel_scales.size() + row_idx];
+      for (std::size_t i = 0; i < schemes.size(); ++i) {
+        value_table.set(row, i + 1, common::format_percent(point[i].first().tsr()));
+      }
+    }
+    emit(figure + "(b) TSR vs transaction size (x credit-card mean 88)",
+         value_table, figure + "b_txn_size");
   }
 
   // ---- (c) TSR vs update time + (d) normalised throughput ---------------
+  // One scenario, a (tau × scheme) task grid.
   {
-    common::Table tsr_table(scheme_header());
-    common::Table thr_table(scheme_header());
-    const auto scenario = routing::prepare_scenario(base);
-    std::vector<double> splicer_tsr, best_other_tsr;
-    std::vector<double> splicer_thr, best_other_thr;
-    for (const double tau : {0.1, 0.2, 0.4, 0.7, 1.0}) {
+    const std::vector<double> taus{0.1, 0.2, 0.4, 0.7, 1.0};
+    std::vector<routing::SchemeTask> tasks;
+    for (const double tau : taus) {
       routing::SchemeConfig scheme_config;
       scheme_config.protocol.tau_s = tau;
+      for (const auto scheme : schemes) {
+        tasks.push_back({scheme, scheme_config,
+                         std::string(routing::to_string(scheme)) + " tau=" +
+                             common::format_double(tau, 1)});
+      }
+    }
+    const auto results = runner.run({base}, tasks).front();
+
+    common::Table tsr_table(scheme_header());
+    common::Table thr_table(scheme_header());
+    std::vector<double> splicer_tsr, best_other_tsr;
+    std::vector<double> splicer_thr, best_other_thr;
+    for (std::size_t tau_idx = 0; tau_idx < taus.size(); ++tau_idx) {
       const auto tsr_row = tsr_table.add_row();
       const auto thr_row = thr_table.add_row();
-      tsr_table.set(tsr_row, 0, common::format_double(tau * 1000, 0) + "ms");
-      thr_table.set(thr_row, 0, common::format_double(tau * 1000, 0) + "ms");
+      const auto label = common::format_double(taus[tau_idx] * 1000, 0) + "ms";
+      tsr_table.set(tsr_row, 0, label);
+      thr_table.set(thr_row, 0, label);
       double other_best_tsr = 0.0, other_best_thr = 0.0;
       for (std::size_t i = 0; i < schemes.size(); ++i) {
-        const auto m = routing::run_scheme(scenario, schemes[i], scheme_config);
+        const auto& m = results[tau_idx * schemes.size() + i].first();
         tsr_table.set(tsr_row, i + 1, common::format_percent(m.tsr()));
         thr_table.set(thr_row, i + 1,
                       common::format_percent(m.normalized_throughput()));

@@ -1,0 +1,118 @@
+#include "sim/thread_pool.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace splicer::sim {
+
+namespace {
+thread_local int t_shard = -1;
+}  // namespace
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  if (threads == 0) {
+    threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  }
+  shards_.reserve(threads);
+  for (std::size_t i = 0; i < threads; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+  for (std::size_t i = 0; i < threads; ++i) {
+    shards_[i]->worker = std::thread([this, i] { worker_loop(i); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    // wait() semantics without the rethrow: a dtor must not throw.
+    std::unique_lock lock(done_mutex_);
+    all_done_.wait(lock, [this] { return pending_ == 0; });
+  }
+  stopping_.store(true, std::memory_order_release);
+  for (auto& shard : shards_) {
+    {
+      std::lock_guard lock(shard->mutex);
+    }
+    shard->ready.notify_all();
+  }
+  for (auto& shard : shards_) {
+    if (shard->worker.joinable()) shard->worker.join();
+  }
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  submit_to(next_shard_.fetch_add(1, std::memory_order_relaxed), std::move(task));
+}
+
+void ThreadPool::submit_to(std::size_t shard_index, std::function<void()> task) {
+  Shard& shard = *shards_[shard_index % shards_.size()];
+  {
+    std::lock_guard lock(done_mutex_);
+    ++pending_;
+  }
+  {
+    std::lock_guard lock(shard.mutex);
+    shard.queue.push_back(std::move(task));
+  }
+  shard.ready.notify_one();
+}
+
+void ThreadPool::wait() {
+  std::unique_lock lock(done_mutex_);
+  all_done_.wait(lock, [this] { return pending_ == 0; });
+  if (first_error_) {
+    std::exception_ptr error = std::exchange(first_error_, nullptr);
+    lock.unlock();
+    std::rethrow_exception(error);
+  }
+}
+
+void ThreadPool::parallel_for(std::size_t n,
+                              const std::function<void(std::size_t)>& body) {
+  const std::size_t workers = thread_count();
+  for (std::size_t s = 0; s < workers; ++s) {
+    const std::size_t begin = n * s / workers;
+    const std::size_t end = n * (s + 1) / workers;
+    if (begin == end) continue;
+    submit_to(s, [&body, begin, end] {
+      for (std::size_t i = begin; i < end; ++i) body(i);
+    });
+  }
+  wait();
+}
+
+int ThreadPool::current_shard() noexcept { return t_shard; }
+
+void ThreadPool::worker_loop(std::size_t shard_index) {
+  t_shard = static_cast<int>(shard_index);
+  Shard& shard = *shards_[shard_index];
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock lock(shard.mutex);
+      shard.ready.wait(lock, [&] {
+        return !shard.queue.empty() || stopping_.load(std::memory_order_acquire);
+      });
+      if (shard.queue.empty()) return;  // stopping and drained
+      task = std::move(shard.queue.front());
+      shard.queue.pop_front();
+    }
+    try {
+      task();
+    } catch (...) {
+      record_exception(std::current_exception());
+    }
+    {
+      std::lock_guard lock(done_mutex_);
+      --pending_;
+      if (pending_ == 0) all_done_.notify_all();
+    }
+  }
+}
+
+void ThreadPool::record_exception(std::exception_ptr error) {
+  std::lock_guard lock(done_mutex_);
+  if (!first_error_) first_error_ = std::move(error);
+}
+
+}  // namespace splicer::sim

@@ -1,0 +1,86 @@
+#pragma once
+
+// Fixed-shard thread pool for the experiment harness.
+//
+// Deliberately work-stealing-free: every task is pinned to a shard (worker)
+// at submission time, either explicitly (`submit_to`) or round-robin
+// (`submit`). With sharding fixed at submission, the assignment of tasks to
+// workers is a pure function of the submission sequence — independent of
+// scheduling jitter — which keeps parallel experiment runs reproducible and
+// easy to reason about. Experiment tasks are coarse (one simulation each)
+// and pre-counted, so stealing would buy little and cost placement
+// determinism.
+//
+// Exceptions thrown by tasks are captured; the first one is rethrown from
+// `wait()` and the rest are discarded. The pool is reusable after `wait()`
+// returns or throws.
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace splicer::sim {
+
+class ThreadPool {
+ public:
+  /// Spawns `threads` workers; 0 means one per hardware thread.
+  explicit ThreadPool(std::size_t threads = 0);
+
+  /// Drains outstanding work (exceptions are dropped at this point — call
+  /// `wait()` first if you care), then joins all workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] std::size_t thread_count() const noexcept {
+    return shards_.size();
+  }
+
+  /// Enqueues a task on the next shard (round-robin over workers).
+  void submit(std::function<void()> task);
+
+  /// Enqueues a task on a specific shard; `shard` is taken modulo
+  /// `thread_count()` so callers can use any stable integer key.
+  void submit_to(std::size_t shard, std::function<void()> task);
+
+  /// Blocks until every submitted task has finished. If any task threw, the
+  /// first captured exception is rethrown here and the rest are discarded.
+  void wait();
+
+  /// Runs `body(i)` for every i in [0, n), sharded into `thread_count()`
+  /// contiguous blocks. Blocks until done (exceptions as in `wait()`).
+  void parallel_for(std::size_t n, const std::function<void(std::size_t)>& body);
+
+  /// Shard index of the calling worker thread, or -1 off-pool.
+  [[nodiscard]] static int current_shard() noexcept;
+
+ private:
+  struct Shard {
+    std::mutex mutex;
+    std::condition_variable ready;
+    std::deque<std::function<void()>> queue;
+    std::thread worker;
+  };
+
+  void worker_loop(std::size_t shard_index);
+  void record_exception(std::exception_ptr error);
+
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::atomic<std::size_t> next_shard_{0};
+
+  std::mutex done_mutex_;
+  std::condition_variable all_done_;
+  std::size_t pending_ = 0;        // guarded by done_mutex_
+  std::atomic<bool> stopping_{false};
+  std::exception_ptr first_error_; // guarded by done_mutex_
+};
+
+}  // namespace splicer::sim

@@ -1,0 +1,128 @@
+#include "sim/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <stdexcept>
+#include <vector>
+
+namespace splicer::sim {
+namespace {
+
+TEST(ThreadPool, DefaultsToAtLeastOneWorker) {
+  ThreadPool pool(0);
+  EXPECT_GE(pool.thread_count(), 1u);
+}
+
+TEST(ThreadPool, SubmitAndDrain) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 1000; ++i) {
+    pool.submit([&counter] { counter.fetch_add(1, std::memory_order_relaxed); });
+  }
+  pool.wait();
+  EXPECT_EQ(counter.load(), 1000);
+}
+
+TEST(ThreadPool, WaitIsReusableAcrossBatches) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  for (int batch = 0; batch < 3; ++batch) {
+    for (int i = 0; i < 50; ++i) {
+      pool.submit([&counter] { ++counter; });
+    }
+    pool.wait();
+    EXPECT_EQ(counter.load(), 50 * (batch + 1));
+  }
+}
+
+TEST(ThreadPool, ParallelForCoversEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(257);
+  pool.parallel_for(hits.size(), [&hits](std::size_t i) { ++hits[i]; });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, ParallelForEmptyRangeIsANoop) {
+  ThreadPool pool(3);
+  pool.parallel_for(0, [](std::size_t) { FAIL() << "body must not run"; });
+}
+
+TEST(ThreadPool, SubmitToPinsTaskToShard) {
+  constexpr std::size_t kWorkers = 4;
+  ThreadPool pool(kWorkers);
+  std::vector<std::atomic<int>> observed(kWorkers);
+  for (auto& o : observed) o.store(-2);
+  for (std::size_t shard = 0; shard < kWorkers; ++shard) {
+    pool.submit_to(shard, [&observed, shard] {
+      observed[shard].store(ThreadPool::current_shard());
+    });
+  }
+  pool.wait();
+  for (std::size_t shard = 0; shard < kWorkers; ++shard) {
+    EXPECT_EQ(observed[shard].load(), static_cast<int>(shard));
+  }
+}
+
+TEST(ThreadPool, ShardIndexWrapsModuloThreadCount) {
+  ThreadPool pool(2);
+  std::atomic<int> shard_of_task{-2};
+  pool.submit_to(7, [&shard_of_task] {  // 7 % 2 == 1
+    shard_of_task.store(ThreadPool::current_shard());
+  });
+  pool.wait();
+  EXPECT_EQ(shard_of_task.load(), 1);
+}
+
+TEST(ThreadPool, CurrentShardIsMinusOneOffPool) {
+  EXPECT_EQ(ThreadPool::current_shard(), -1);
+}
+
+TEST(ThreadPool, FirstExceptionPropagatesFromWait) {
+  ThreadPool pool(2);
+  pool.submit([] { throw std::runtime_error("boom"); });
+  EXPECT_THROW(pool.wait(), std::runtime_error);
+}
+
+TEST(ThreadPool, PoolIsUsableAfterAnException) {
+  ThreadPool pool(2);
+  pool.submit([] { throw std::logic_error("first batch fails"); });
+  EXPECT_THROW(pool.wait(), std::logic_error);
+
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 20; ++i) pool.submit([&counter] { ++counter; });
+  pool.wait();  // must not rethrow the already-consumed exception
+  EXPECT_EQ(counter.load(), 20);
+}
+
+TEST(ThreadPool, LaterTasksStillRunWhenOneThrows) {
+  ThreadPool pool(1);  // single shard: the throwing task runs first
+  std::atomic<int> counter{0};
+  pool.submit([] { throw std::runtime_error("early"); });
+  for (int i = 0; i < 10; ++i) pool.submit([&counter] { ++counter; });
+  EXPECT_THROW(pool.wait(), std::runtime_error);
+  EXPECT_EQ(counter.load(), 10);
+}
+
+TEST(ThreadPool, ExceptionInParallelForBodyPropagates) {
+  ThreadPool pool(4);
+  EXPECT_THROW(pool.parallel_for(100,
+                                 [](std::size_t i) {
+                                   if (i == 63) throw std::out_of_range("63");
+                                 }),
+               std::out_of_range);
+}
+
+TEST(ThreadPool, DestructorDrainsOutstandingWork) {
+  std::atomic<int> counter{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 100; ++i) pool.submit([&counter] { ++counter; });
+    // no wait(): the destructor must drain before joining
+  }
+  EXPECT_EQ(counter.load(), 100);
+}
+
+}  // namespace
+}  // namespace splicer::sim

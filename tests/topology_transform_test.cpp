@@ -132,7 +132,9 @@ TEST(SingleStar, StarShape) {
   const auto hub = result.hubs.front();
   EXPECT_EQ(g.degree(hub), g.node_count() - 1);
   for (pcn::NodeId v = 0; v < g.node_count(); ++v) {
-    if (v != hub) EXPECT_EQ(g.degree(v), 1u);
+    if (v != hub) {
+      EXPECT_EQ(g.degree(v), 1u);
+    }
   }
   EXPECT_TRUE(graph::is_connected(g));
 }

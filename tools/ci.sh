@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Tier-1 CI gate: configure + build with -Wall -Wextra -Werror, run the
+# full ctest suite, then re-run the fast `smoke` label on its own so the
+# cheap-suite subset is exercised exactly as developers use it.
+#
+# Usage: tools/ci.sh [build-dir]   (default: build-ci)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:-build-ci}"
+JOBS="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 2)"
+
+cmake -B "$BUILD_DIR" -S . -DSPLICER_WERROR=ON -DCMAKE_BUILD_TYPE=Release
+cmake --build "$BUILD_DIR" -j "$JOBS"
+
+ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$JOBS"
+ctest --test-dir "$BUILD_DIR" -L smoke -j "$JOBS"
+
+echo "CI: all green"

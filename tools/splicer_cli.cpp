@@ -2,7 +2,11 @@
 //
 //   splicer_cli compare  [--nodes N] [--payments N] [--seed S] [--tau MS]
 //                        [--fund-scale X] [--value-scale X] [--scale-free]
-//       run all six schemes on one shared scenario and print the comparison
+//                        [--threads N] [--trials K]
+//       run all six schemes on one shared scenario and print the comparison;
+//       simulations fan out over N worker threads (0 = all hardware
+//       threads) and, with K > 1, repeat over K derived-seed workloads and
+//       report mean +/- stddev
 //
 //   splicer_cli place    [--nodes N] [--candidates N] [--omega W] [--seed S]
 //                        [--solver exhaustive|approx|milp|descent]
@@ -14,6 +18,7 @@
 //   splicer_cli topology [--nodes N] [--seed S] [--scale-free]
 //       print topology statistics for the generated PCN
 
+#include <algorithm>
 #include <cstring>
 #include <iostream>
 #include <map>
@@ -27,6 +32,7 @@
 #include "placement/exhaustive_solver.h"
 #include "placement/milp_solver.h"
 #include "routing/experiment.h"
+#include "routing/parallel_experiment.h"
 #include "splicer/workflow.h"
 
 using namespace splicer;
@@ -87,31 +93,81 @@ routing::ScenarioConfig scenario_from(const Args& args) {
 
 int cmd_compare(const Args& args) {
   const auto config = scenario_from(args);
+  const std::size_t threads = args.u64("threads", 0);
+  const std::size_t trials = std::max<std::uint64_t>(1, args.u64("trials", 1));
+
   std::cout << "preparing scenario: " << config.topology.nodes << " nodes, "
             << config.workload.payment_count << " payments, seed "
-            << config.seed << "\n";
-  const auto scenario = routing::prepare_scenario(config);
-  std::cout << "placed " << scenario.multi_star.hubs.size()
-            << " smooth nodes; " << scenario.clients.size() << " clients\n\n";
+            << config.seed;
+  if (trials > 1) std::cout << ", " << trials << " trials";
+  std::cout << "\n";
 
   routing::SchemeConfig scheme_config;
   scheme_config.protocol.tau_s = args.real("tau", 200.0) / 1000.0;
-
-  common::Table table({"scheme", "TSR", "throughput", "avg delay (ms)",
-                       "TUs sent", "TUs marked", "messages"});
+  std::vector<routing::SchemeTask> tasks;
   for (const auto scheme :
        {routing::Scheme::kSplicer, routing::Scheme::kSpider,
         routing::Scheme::kFlash, routing::Scheme::kLandmark,
         routing::Scheme::kA2l, routing::Scheme::kShortestPath}) {
-    const auto m = routing::run_scheme(scenario, scheme, scheme_config);
+    tasks.push_back({scheme, scheme_config, {}});
+  }
+
+  routing::ParallelRunner runner({threads, trials});
+  std::vector<routing::TaskResult> results;
+  if (trials == 1) {
+    // Prepare once, report the placement, and share the scenario across
+    // every scheme task. (With trials > 1 each trial places its own
+    // derived-seed scenario, so there is no single hub count to report and
+    // the runner prepares them all itself.)
+    std::vector<routing::Scenario> prepared;
+    prepared.push_back(routing::prepare_scenario(config));
+    std::cout << "placed " << prepared.front().multi_star.hubs.size()
+              << " smooth nodes; " << prepared.front().clients.size()
+              << " clients\n\n";
+    results = runner.run_prepared(prepared, tasks).front();
+  } else {
+    std::cout << "\n";
+    results = runner.run({config}, tasks).front();
+  }
+
+  if (trials == 1) {
+    common::Table table({"scheme", "TSR", "throughput", "avg delay (ms)",
+                         "TUs sent", "TUs marked", "messages"});
+    for (std::size_t t = 0; t < tasks.size(); ++t) {
+      const auto& m = results[t].first();
+      const auto row = table.add_row();
+      table.set(row, 0, tasks[t].name());
+      table.set(row, 1, common::format_percent(m.tsr()));
+      table.set(row, 2, common::format_percent(m.normalized_throughput()));
+      table.set(row, 3, m.average_delay_s() * 1000.0, 1);
+      table.set(row, 4, static_cast<std::int64_t>(m.tus_sent));
+      table.set(row, 5, static_cast<std::int64_t>(m.tus_marked));
+      table.set(row, 6, static_cast<std::int64_t>(m.messages.total()));
+    }
+    std::cout << table.render();
+    return 0;
+  }
+
+  const auto pm = [](const common::RunningStats& s, int precision) {
+    return common::format_double(s.mean(), precision) + " +/- " +
+           common::format_double(s.stddev(), precision);
+  };
+  common::Table table({"scheme", "TSR (%)", "throughput (%)",
+                       "avg delay (ms)", "messages"});
+  for (std::size_t t = 0; t < tasks.size(); ++t) {
+    const auto& cell = results[t];
     const auto row = table.add_row();
-    table.set(row, 0, routing::to_string(scheme));
-    table.set(row, 1, common::format_percent(m.tsr()));
-    table.set(row, 2, common::format_percent(m.normalized_throughput()));
-    table.set(row, 3, m.average_delay_s() * 1000.0, 1);
-    table.set(row, 4, static_cast<std::int64_t>(m.tus_sent));
-    table.set(row, 5, static_cast<std::int64_t>(m.tus_marked));
-    table.set(row, 6, static_cast<std::int64_t>(m.messages.total()));
+    table.set(row, 0, tasks[t].name());
+    common::RunningStats tsr_pct, thr_pct, delay_ms;
+    for (const auto& m : cell.trials) {
+      tsr_pct.add(m.tsr() * 100.0);
+      thr_pct.add(m.normalized_throughput() * 100.0);
+      delay_ms.add(m.average_delay_s() * 1000.0);
+    }
+    table.set(row, 1, pm(tsr_pct, 1));
+    table.set(row, 2, pm(thr_pct, 1));
+    table.set(row, 3, pm(delay_ms, 1));
+    table.set(row, 4, pm(cell.messages, 0));
   }
   std::cout << table.render();
   return 0;
