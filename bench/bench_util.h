@@ -6,10 +6,11 @@
 // the default) to size the parallel experiment runner.
 //
 // Environment knobs:
-//   SPLICER_BENCH_FAST=1      quarter-size workloads (smoke runs / CI)
-//   SPLICER_BENCH_SEED=N      override the base seed (default 42)
-//   SPLICER_BENCH_CSV=dir     also write each table as CSV into `dir`
-//   SPLICER_BENCH_THREADS=N   default for --threads
+//   SPLICER_BENCH_FAST=1          quarter-size workloads (smoke runs / CI)
+//   SPLICER_BENCH_SEED=N          override the base seed (default 42)
+//   SPLICER_BENCH_CSV=dir         also write each table as CSV into `dir`
+//   SPLICER_BENCH_THREADS=N       default for --threads
+//   SPLICER_BENCH_SETTLE_EPOCH_MS=X  default for --settlement-epoch
 
 #include <cstdlib>
 #include <cstring>
@@ -42,6 +43,18 @@ inline std::size_t thread_count(int argc, char** argv) {
 inline std::uint64_t base_seed() {
   const char* v = std::getenv("SPLICER_BENCH_SEED");
   return v != nullptr ? std::strtoull(v, nullptr, 10) : 42;
+}
+
+/// Batched-settlement epoch in seconds: `--settlement-epoch MS` beats
+/// SPLICER_BENCH_SETTLE_EPOCH_MS beats 0 (= exact per-hop settlement).
+inline double settlement_epoch_s(int argc, char** argv) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], "--settlement-epoch") == 0) {
+      return std::strtod(argv[i + 1], nullptr) / 1000.0;
+    }
+  }
+  const char* v = std::getenv("SPLICER_BENCH_SETTLE_EPOCH_MS");
+  return v != nullptr ? std::strtod(v, nullptr) / 1000.0 : 0.0;
 }
 
 /// Scales a payment count down in fast mode.

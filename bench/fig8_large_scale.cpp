@@ -4,15 +4,22 @@
 // pay route-computation costs that grow with the topology, and the A2L
 // single hub saturates under the larger offered load.
 //
-// Usage: bench_fig8_large_scale [--threads N]   (0 = all hardware threads)
+// Usage: bench_fig8_large_scale [--threads N] [--settlement-epoch MS]
+//   --threads 0 (default) = all hardware threads
+//   --settlement-epoch 0 (default) = exact per-hop settlement
 
 #include "fig_common.h"
 
 int main(int argc, char** argv) {
   using namespace splicer;
+  const double epoch_s = bench::settlement_epoch_s(argc, argv);
   std::cout << "=== Fig. 8: large-scale network (3000 nodes) ===\n"
             << (bench::fast_mode() ? "(fast mode: quarter workload)\n" : "");
+  if (epoch_s > 0) {
+    std::cout << "(batched settlement: epoch "
+              << common::format_double(epoch_s * 1000, 1) << " ms)\n";
+  }
   bench::run_figure("fig8", bench::large_scale_config(),
-                    bench::thread_count(argc, argv));
+                    bench::thread_count(argc, argv), epoch_s);
   return 0;
 }

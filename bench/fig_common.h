@@ -19,10 +19,15 @@
 namespace splicer::bench {
 
 inline void run_figure(const std::string& figure, routing::ScenarioConfig base,
-                       std::size_t threads) {
+                       std::size_t threads, double settlement_epoch_s = 0.0) {
   using routing::Scheme;
   const auto schemes = routing::comparison_schemes();
   routing::ParallelRunner runner({threads, /*trials=*/1});
+
+  // Engine config shared by every panel; settlement_epoch_s = 0 keeps the
+  // exact per-hop settlement path (byte-identical tables).
+  routing::SchemeConfig base_scheme_config;
+  base_scheme_config.engine.settlement_epoch_s = settlement_epoch_s;
 
   const auto scheme_header = [&] {
     std::vector<std::string> header{"sweep"};
@@ -48,7 +53,8 @@ inline void run_figure(const std::string& figure, routing::ScenarioConfig base,
       scenarios.push_back(config);
     }
 
-    const auto results = runner.run(scenarios, routing::comparison_tasks());
+    const auto results =
+        runner.run(scenarios, routing::comparison_tasks(base_scheme_config));
 
     common::Table channel_table(scheme_header());
     for (std::size_t row_idx = 0; row_idx < channel_scales.size(); ++row_idx) {
@@ -83,7 +89,7 @@ inline void run_figure(const std::string& figure, routing::ScenarioConfig base,
     const std::vector<double> taus{0.1, 0.2, 0.4, 0.7, 1.0};
     std::vector<routing::SchemeTask> tasks;
     for (const double tau : taus) {
-      routing::SchemeConfig scheme_config;
+      routing::SchemeConfig scheme_config = base_scheme_config;
       scheme_config.protocol.tau_s = tau;
       for (const auto scheme : schemes) {
         tasks.push_back({scheme, scheme_config,

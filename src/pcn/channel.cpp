@@ -46,6 +46,23 @@ void Channel::refund(Direction d, Amount value) {
   balance_[dir_index(d)] += value;
 }
 
+void Channel::settle_n(Direction d, Amount total, std::uint64_t count) {
+  if (count == 0) throw std::invalid_argument("Channel::settle_n: count == 0");
+  if (total < static_cast<Amount>(count)) {
+    // Each coalesced settlement moved at least one token unit.
+    throw std::invalid_argument("Channel::settle_n: total below count");
+  }
+  settle(d, total);
+}
+
+void Channel::refund_n(Direction d, Amount total, std::uint64_t count) {
+  if (count == 0) throw std::invalid_argument("Channel::refund_n: count == 0");
+  if (total < static_cast<Amount>(count)) {
+    throw std::invalid_argument("Channel::refund_n: total below count");
+  }
+  refund(d, total);
+}
+
 bool Channel::transfer(Direction d, Amount value) {
   if (value <= 0) throw std::invalid_argument("Channel::transfer: value must be > 0");
   auto& from = balance_[dir_index(d)];

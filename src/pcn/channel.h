@@ -59,6 +59,14 @@ class Channel {
   /// Refunds a previously locked `value`: lock pool -> payer's balance.
   void refund(Direction d, Amount value);
 
+  /// Applies `count` coalesced settlements totalling `total` in one move
+  /// (batched per-epoch settlement). Equivalent to `count` settle() calls;
+  /// throws if `total` exceeds the lock pool.
+  void settle_n(Direction d, Amount total, std::uint64_t count);
+
+  /// Applies `count` coalesced refunds totalling `total` in one move.
+  void refund_n(Direction d, Amount total, std::uint64_t count);
+
   /// Directly transfers spendable balance payer->payee (used for fees and
   /// for instant settlement models). Returns false if insufficient.
   [[nodiscard]] bool transfer(Direction d, Amount value);

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <stdexcept>
+#include <utility>
 
 namespace splicer::routing {
 
@@ -35,6 +36,7 @@ Engine::Engine(pcn::Network network, std::vector<pcn::Payment> payments,
       config_(config),
       rng_(config.seed) {
   directed_.resize(2 * network_.channel_count());
+  batcher_.pending.resize(2 * network_.channel_count());
   initial_funds_ = network_.total_funds();
 }
 
@@ -45,9 +47,15 @@ EngineMetrics Engine::run() {
   double last_deadline = 0.0;
   for (const auto& p : payments_) last_deadline = std::max(last_deadline, p.deadline);
   const double hard_stop = last_deadline + config_.horizon_slack_s + 60.0;
-  scheduler_.run(hard_stop);
+  metrics_.scheduler_events = scheduler_.run(hard_stop);
 
   metrics_.simulated_seconds = scheduler_.now();
+  if (config_.settlement_epoch_s > 0) {
+    // Apply any residue whose flush boundary fell past the hard stop so the
+    // final network state is fully settled; no queue retries — the
+    // simulation is over.
+    flush_settlements(/*drain=*/false);
+  }
   if (network_.total_funds() != initial_funds_) {
     throw std::logic_error("Engine: funds-conservation violation");
   }
@@ -65,9 +73,19 @@ void Engine::schedule_arrivals() {
       metrics_.messages.control_messages += 2;
       router_.on_payment(*this, payment);
     });
-    scheduler_.at(payment.deadline,
-                  [this, id = payment.id] { on_payment_deadline(id); });
+    const auto deadline_event = scheduler_.at(
+        payment.deadline, [this, id = payment.id] { on_payment_deadline(id); });
+    if (config_.settlement_epoch_s > 0) {
+      deadline_events_.emplace(payment.id, deadline_event);
+    }
   }
+}
+
+void Engine::cancel_deadline_event(PaymentId id) {
+  const auto it = deadline_events_.find(id);
+  if (it == deadline_events_.end()) return;
+  scheduler_.cancel(it->second);
+  deadline_events_.erase(it);
 }
 
 TuId Engine::send_tu(TransactionUnit tu) {
@@ -101,6 +119,7 @@ PaymentState& Engine::payment_state(PaymentId id) {
 void Engine::fail_payment(PaymentId id, FailReason reason) {
   auto& state = payment_state(id);
   if (!state.active()) return;
+  cancel_deadline_event(id);
   state.failed = true;
   ++metrics_.payments_failed;
   ++metrics_.payment_fail_reasons[static_cast<std::size_t>(reason)];
@@ -130,6 +149,11 @@ void Engine::attempt_hop(TuId id) {
   if (scheduler_.now() < ds.next_free) {
     if (config_.queues_enabled) {
       enqueue(id, channel, d);
+    } else if (config_.settlement_epoch_s > 0) {
+      // Batched mode: retry from the shared epoch flush instead of one
+      // scheduler event per waiting TU.
+      batcher_.deferred_tus.push_back(id);
+      schedule_flush();
     } else {
       scheduler_.at(ds.next_free, [this, id] { attempt_hop(id); });
     }
@@ -149,7 +173,27 @@ void Engine::attempt_hop(TuId id) {
                  common::to_tokens(amount) / config_.process_rate_tokens_per_s;
   ++metrics_.messages.data_hops;
   router_.on_tu_forwarded(*this, tu, channel, d);
-  scheduler_.after(config_.hop_delay_s, [this, id] { arrive_next(id); });
+  schedule_hop_arrival(id);
+}
+
+void Engine::schedule_hop_arrival(TuId id) {
+  if (config_.settlement_epoch_s <= 0) {
+    scheduler_.after(config_.hop_delay_s, [this, id] { arrive_next(id); });
+    return;
+  }
+  // Batched mode: a flush forwards whole queues at one boundary, so many
+  // TUs arrive at the identical instant — share one event per timestamp.
+  // Arrival order inside a bucket is insertion order, i.e. the order the
+  // separate events would have fired in.
+  const double when = scheduler_.now() + config_.hop_delay_s;
+  const auto [it, inserted] = arrival_buckets_.try_emplace(when);
+  it->second.push_back(id);
+  if (inserted) {
+    scheduler_.at(when, [this, when] {
+      const auto node = arrival_buckets_.extract(when);
+      for (const TuId tu : node.mapped()) arrive_next(tu);
+    });
+  }
 }
 
 void Engine::arrive_next(TuId id) {
@@ -174,6 +218,7 @@ void Engine::deliver(TuId id) {
   state.in_flight -= live.tu.value;
   state.delivered += live.tu.value;
   if (!state.failed && !state.completed && state.delivered >= state.payment.value) {
+    cancel_deadline_event(state.payment.id);
     state.completed = true;
     state.completion_time = scheduler_.now();
     ++metrics_.payments_completed;
@@ -186,6 +231,9 @@ void Engine::deliver(TuId id) {
   settle_backwards(id);
   const TransactionUnit tu_copy = live.tu;
   router_.on_tu_delivered(*this, tu_copy);
+  // Batched mode settles from the epoch buffer, so nothing references the
+  // live entry anymore; per-hop mode erases it after the last ack event.
+  if (config_.settlement_epoch_s > 0) live_.erase(id);
 }
 
 void Engine::settle_backwards(TuId id) {
@@ -193,9 +241,15 @@ void Engine::settle_backwards(TuId id) {
   if (it == live_.end()) return;
   auto& live = it->second;
   const auto& tu = live.tu;
+  const std::size_t hops = tu.path.edges.size();
+  if (config_.settlement_epoch_s > 0) {
+    // Batched mode: fold every locked hop into the epoch buffer; a single
+    // flush event applies them all at the next settlement_epoch_s boundary.
+    add_pending_locked_hops(live, /*is_settle=*/true);
+    return;  // deliver() releases the live entry
+  }
   // The ack walks back from the destination, one hop per hop_delay,
   // settling each lock into the receiving side.
-  const std::size_t hops = tu.path.edges.size();
   double delay = config_.hop_delay_s;
   for (std::size_t i = hops; i-- > 0;) {
     if (!live.hop_locked[i]) continue;
@@ -226,6 +280,7 @@ void Engine::fail_tu(TuId id, FailReason reason) {
   const TransactionUnit tu_copy = it->second.tu;
   refund_backwards(id, reason);
   router_.on_tu_failed(*this, tu_copy, reason);
+  if (config_.settlement_epoch_s > 0) live_.erase(id);
 }
 
 void Engine::refund_backwards(TuId id, FailReason reason) {
@@ -234,6 +289,10 @@ void Engine::refund_backwards(TuId id, FailReason reason) {
   if (it == live_.end()) return;
   auto& live = it->second;
   const auto& tu = live.tu;
+  if (config_.settlement_epoch_s > 0) {
+    add_pending_locked_hops(live, /*is_settle=*/false);
+    return;  // fail_tu() releases the live entry
+  }
   double delay = config_.hop_delay_s;
   for (std::size_t i = tu.path.edges.size(); i-- > 0;) {
     if (!live.hop_locked[i]) continue;
@@ -264,6 +323,7 @@ void Engine::enqueue(TuId id, ChannelId channel, pcn::Direction d) {
   QueuedTu queued;
   queued.id = id;
   queued.enqueued_at = scheduler_.now();
+  queued.amount = amount;
   // Congestion marking: if still queued after T, mark & abort (eq. 27 path).
   queued.mark_event = scheduler_.after(
       config_.queue_delay_threshold_s, [this, id, channel, d] {
@@ -272,19 +332,19 @@ void Engine::enqueue(TuId id, ChannelId channel, pcn::Direction d) {
             state.queue.begin(), state.queue.end(),
             [id](const QueuedTu& q) { return q.id == id; });
         if (pos == state.queue.end()) return;  // already drained
-        const auto live_it = live_.find(id);
-        if (live_it == live_.end()) return;
-        state.queued_value -= live_it->second.tu.hop_amounts[live_it->second.tu.next_hop];
+        state.queued_value -= pos->amount;
         state.queue.erase(pos);
+        if (config_.validate_queues) check_queue_invariant(channel, d);
+        const auto live_it = live_.find(id);
+        if (live_it == live_.end()) return;  // stale: accounting released above
         live_it->second.tu.marked = true;
         fail_tu(id, FailReason::kMarkedCongested);
       });
   ds.queued_value += amount;
   ds.queue.push_back(queued);
   // If blocked on the rate limiter, retry when the bucket frees up.
-  if (scheduler_.now() < ds.next_free) {
-    scheduler_.at(ds.next_free, [this, channel, d] { drain_queue(channel, d); });
-  }
+  if (scheduler_.now() < ds.next_free) schedule_drain(channel, d, ds.next_free);
+  if (config_.validate_queues) check_queue_invariant(channel, d);
 }
 
 std::size_t Engine::pick_from_queue(const DirectedState& state) const {
@@ -298,6 +358,7 @@ std::size_t Engine::pick_from_queue(const DirectedState& state) const {
       Amount best_value = 0;
       for (std::size_t i = 0; i < state.queue.size(); ++i) {
         const auto it = live_.find(state.queue[i].id);
+        if (it == live_.end()) return i;  // stale: evict before policy picks
         const Amount v = it->second.tu.value;
         if (i == 0 || v < best_value) {
           best = i;
@@ -311,6 +372,7 @@ std::size_t Engine::pick_from_queue(const DirectedState& state) const {
       double best_deadline = 0.0;
       for (std::size_t i = 0; i < state.queue.size(); ++i) {
         const auto it = live_.find(state.queue[i].id);
+        if (it == live_.end()) return i;  // stale: evict before policy picks
         const double dl = it->second.tu.deadline;
         if (i == 0 || dl < best_deadline) {
           best = i;
@@ -328,28 +390,155 @@ void Engine::drain_queue(ChannelId channel, pcn::Direction d) {
   auto& ch = network_.channel(channel);
   while (!ds.queue.empty()) {
     if (scheduler_.now() < ds.next_free) {
-      scheduler_.at(ds.next_free, [this, channel, d] { drain_queue(channel, d); });
-      return;
+      schedule_drain(channel, d, ds.next_free);
+      break;
     }
     const std::size_t index = pick_from_queue(ds);
-    const TuId id = ds.queue[index].id;
-    const auto live_it = live_.find(id);
+    const QueuedTu entry = ds.queue[index];
+    const auto live_it = live_.find(entry.id);
     if (live_it == live_.end()) {
-      // Stale entry (TU resolved elsewhere); drop it defensively.
+      // Stale entry (TU resolved elsewhere): release its accounting too —
+      // erasing the entry alone would leak queued_value and leave the mark
+      // event live to fire against a recycled queue position.
+      scheduler_.cancel(entry.mark_event);
       ds.queue.erase(ds.queue.begin() + static_cast<std::ptrdiff_t>(index));
+      ds.queued_value -= entry.amount;
       continue;
     }
     const Amount amount =
         live_it->second.tu.hop_amounts[live_it->second.tu.next_hop];
-    if (ch.available(d) < amount) return;  // wait for the next settle/refund
-    scheduler_.cancel(ds.queue[index].mark_event);
+    if (ch.available(d) < amount) break;  // wait for the next settle/refund
+    scheduler_.cancel(entry.mark_event);
     ds.queue.erase(ds.queue.begin() + static_cast<std::ptrdiff_t>(index));
     ds.queued_value -= amount;
-    attempt_hop(id);  // re-checks rate & funds; both were just verified
+    attempt_hop(entry.id);  // re-checks rate & funds; both were just verified
+  }
+  if (config_.validate_queues) check_queue_invariant(channel, d);
+}
+
+void Engine::schedule_drain(ChannelId channel, pcn::Direction d, double when) {
+  auto& ds = directed(channel, d);
+  if (ds.drain_pending) return;  // one wake-up is enough
+  ds.drain_pending = true;
+  if (config_.settlement_epoch_s > 0) {
+    // Batched mode: the recurring epoch flush retries this queue; no
+    // per-direction wake-up event.
+    batcher_.blocked_queues.push_back(directed_index(channel, d));
+    schedule_flush();
+    return;
+  }
+  scheduler_.at(when, [this, channel, d] {
+    directed(channel, d).drain_pending = false;
+    drain_queue(channel, d);
+  });
+}
+
+void Engine::add_pending_locked_hops(const LiveTu& live, bool is_settle) {
+  const auto& tu = live.tu;
+  for (std::size_t i = tu.path.edges.size(); i-- > 0;) {
+    if (!live.hop_locked[i]) continue;
+    const auto& ch = network_.channel(tu.path.edges[i]);
+    add_pending(tu.path.edges[i], ch.direction_from(tu.path.nodes[i]),
+                tu.hop_amounts[i], is_settle);
+  }
+}
+
+void Engine::add_pending(ChannelId channel, pcn::Direction d, Amount amount,
+                        bool is_settle) {
+  auto& p = batcher_.pending[directed_index(channel, d)];
+  if (p.settle_ops == 0 && p.refund_ops == 0) {
+    batcher_.dirty.push_back(directed_index(channel, d));
+  }
+  if (is_settle) {
+    p.settle_total += amount;
+    ++p.settle_ops;
+  } else {
+    p.refund_total += amount;
+    ++p.refund_ops;
+  }
+  // The per-hop ack still flows in the modelled network; only its
+  // simulation event is coalesced.
+  ++metrics_.messages.ack_messages;
+  ++metrics_.settlements_batched;
+  schedule_flush();
+}
+
+void Engine::schedule_flush() {
+  if (config_.settlement_epoch_s <= 0) {
+    throw std::logic_error("Engine: schedule_flush without batched mode");
+  }
+  if (batcher_.flush_scheduled) return;
+  batcher_.flush_scheduled = true;
+  scheduler_.at_next_boundary(config_.settlement_epoch_s, [this] {
+    batcher_.flush_scheduled = false;
+    ++metrics_.settlement_flushes;
+    flush_settlements(/*drain=*/true);
+  });
+}
+
+void Engine::flush_settlements(bool drain) {
+  std::vector<std::size_t> dirty;
+  dirty.swap(batcher_.dirty);
+  // Two passes: apply every fund movement first, then retry the queues, so
+  // a drained TU can use funds applied by a later entry of the same flush.
+  // Queue retries during the drain pass can refund into the batcher again;
+  // the totals were reset in the first pass, so those land in a new epoch.
+  std::vector<std::pair<ChannelId, pcn::Direction>> to_drain;
+  for (const std::size_t idx : dirty) {
+    auto& p = batcher_.pending[idx];
+    const ChannelId channel = channel_of(idx);
+    const pcn::Direction d = direction_of(idx);
+    auto& ch = network_.channel(channel);
+    if (p.settle_ops > 0) {
+      ch.settle_n(d, p.settle_total, p.settle_ops);
+      // The receiving side gained spendable funds: opposite direction.
+      to_drain.emplace_back(channel, pcn::opposite(d));
+    }
+    if (p.refund_ops > 0) {
+      ch.refund_n(d, p.refund_total, p.refund_ops);
+      // The payer side regained spendable funds: same direction.
+      to_drain.emplace_back(channel, d);
+    }
+    p = PendingSettlement{};
+  }
+  if (!drain) return;
+  for (const auto& [channel, dir] : to_drain) drain_queue(channel, dir);
+
+  // Wake every rate-blocked queue; drains that are still blocked (or block
+  // again) re-register for the next flush via schedule_drain.
+  std::vector<std::size_t> blocked;
+  blocked.swap(batcher_.blocked_queues);
+  for (const std::size_t idx : blocked) {
+    directed_[idx].drain_pending = false;
+    drain_queue(channel_of(idx), direction_of(idx));
+  }
+
+  // Retry atomic-mode TUs that were waiting on a processing slot; a retry
+  // that is still blocked re-defers itself onto the next flush.
+  std::vector<TuId> deferred;
+  deferred.swap(batcher_.deferred_tus);
+  for (const TuId id : deferred) attempt_hop(id);
+}
+
+void Engine::check_queue_invariant(ChannelId channel, pcn::Direction d) const {
+  const auto& ds = directed(channel, d);
+  Amount sum = 0;
+  for (const auto& entry : ds.queue) {
+    sum += entry.amount;
+    const auto it = live_.find(entry.id);
+    if (it != live_.end() &&
+        it->second.tu.hop_amounts[it->second.tu.next_hop] != entry.amount) {
+      throw std::logic_error(
+          "Engine: queued amount diverged from the TU's hop amount");
+    }
+  }
+  if (sum != ds.queued_value) {
+    throw std::logic_error("Engine: queued_value drifted from queue contents");
   }
 }
 
 void Engine::on_payment_deadline(PaymentId id) {
+  deadline_events_.erase(id);  // fired; must never be cancelled afterwards
   const auto it = states_.find(id);
   if (it == states_.end()) return;  // payment never arrived (should not happen)
   auto& state = it->second;

@@ -39,6 +39,16 @@ struct EngineConfig {
   bool queues_enabled = true;   // false = atomic HTLC (fail on first shortage)
   double horizon_slack_s = 5.0; // keep simulating past the last deadline
   std::uint64_t seed = 1;
+  /// Batched settlement epoch. 0 (default) keeps the exact per-hop
+  /// behaviour: every settle/refund of every TU hop is its own scheduler
+  /// event (byte-identical to the pre-batching engine). When > 0, settle
+  /// and refund contributions accumulate per (channel, direction) and are
+  /// applied in bulk on the next multiple of `settlement_epoch_s` — one
+  /// flush event per active epoch instead of one event per hop.
+  double settlement_epoch_s = 0.0;
+  /// Debug: after every queue mutation, re-derive each touched queue's
+  /// value from its entries and throw on any drift (invariant test suite).
+  bool validate_queues = false;
 };
 
 struct EngineMetrics {
@@ -53,11 +63,17 @@ struct EngineMetrics {
   std::uint64_t tus_failed = 0;
   std::uint64_t tus_marked = 0;
   /// TU failures by FailReason (indexed by the enum's underlying value).
-  std::array<std::uint64_t, 6> tu_fail_reasons{};
+  std::array<std::uint64_t, kFailReasonCount> tu_fail_reasons{};
   /// Payment failures by FailReason.
-  std::array<std::uint64_t, 6> payment_fail_reasons{};
+  std::array<std::uint64_t, kFailReasonCount> payment_fail_reasons{};
   sim::MessageCounters messages;
   double simulated_seconds = 0.0;
+  /// Scheduler events executed by run() (the batching cost signal).
+  std::uint64_t scheduler_events = 0;
+  /// Epoch flush events executed (0 when settlement_epoch_s == 0).
+  std::uint64_t settlement_flushes = 0;
+  /// Individual settle/refund operations coalesced into flush events.
+  std::uint64_t settlements_batched = 0;
 
   /// Transaction success ratio: completed / generated payments.
   [[nodiscard]] double tsr() const {
@@ -136,17 +152,42 @@ class Engine {
   struct QueuedTu {
     TuId id;
     double enqueued_at;
+    Amount amount;  // hop amount charged against queued_value at enqueue
     sim::Scheduler::EventId mark_event;
   };
   struct DirectedState {
     std::deque<QueuedTu> queue;
     Amount queued_value = 0;
-    double next_free = 0.0;  // processing-rate token bucket
+    double next_free = 0.0;     // processing-rate token bucket
+    bool drain_pending = false; // a drain wake-up is already scheduled
+  };
+  /// Per-epoch settle/refund totals for one channel direction, applied in
+  /// bulk at the next settlement_epoch_s boundary.
+  struct PendingSettlement {
+    Amount settle_total = 0;
+    Amount refund_total = 0;
+    std::uint64_t settle_ops = 0;
+    std::uint64_t refund_ops = 0;
+  };
+  /// Epoch buffer for batched settlement: pending totals per directed
+  /// channel plus the dirty set, drained by one flush event per epoch. The
+  /// same flush also wakes rate-blocked queues and deferred atomic-mode
+  /// TUs, so one recurring event replaces per-direction and per-TU wake-ups.
+  struct SettlementBatcher {
+    std::vector<PendingSettlement> pending;  // index: 2*channel + dir
+    std::vector<std::size_t> dirty;          // indices with nonzero pending
+    std::vector<std::size_t> blocked_queues; // rate-blocked directed indices
+    std::vector<TuId> deferred_tus;          // atomic TUs waiting on r_process
+    bool flush_scheduled = false;
   };
 
   // Mechanics.
   void schedule_arrivals();
   void attempt_hop(TuId id);
+  /// Schedules arrive_next after the hop delay. Batched mode coalesces
+  /// same-instant arrivals (common: a flush forwards many TUs at one
+  /// boundary) into a single shared scheduler event.
+  void schedule_hop_arrival(TuId id);
   void arrive_next(TuId id);
   void deliver(TuId id);
   void fail_tu(TuId id, FailReason reason);
@@ -154,16 +195,49 @@ class Engine {
   void refund_backwards(TuId id, FailReason reason);
   void enqueue(TuId id, ChannelId channel, pcn::Direction d);
   void drain_queue(ChannelId channel, pcn::Direction d);
+  /// Schedules one drain wake-up at `when` unless one is already pending
+  /// for this direction (duplicate wake-ups flood the scheduler).
+  void schedule_drain(ChannelId channel, pcn::Direction d, double when);
   std::size_t pick_from_queue(const DirectedState& state) const;
   void on_payment_deadline(PaymentId id);
   void register_delivery(LiveTu& live);
 
+  // Batched settlement (settlement_epoch_s > 0).
+  void add_pending(ChannelId channel, pcn::Direction d, Amount amount,
+                   bool is_settle);
+  /// Folds every still-locked hop of a resolved TU into the epoch buffer
+  /// (settle on delivery, refund on failure).
+  void add_pending_locked_hops(const LiveTu& live, bool is_settle);
+  void schedule_flush();
+  /// Cancels the payment's pending deadline event (batched mode only; the
+  /// payment must still be unresolved, i.e. the event has not fired).
+  void cancel_deadline_event(PaymentId id);
+  /// Applies every pending settle/refund total, then (if `drain`) retries
+  /// the queues whose funds changed.
+  void flush_settlements(bool drain);
+
+  /// validate_queues hook: recomputes the queue's value from its entries.
+  void check_queue_invariant(ChannelId channel, pcn::Direction d) const;
+
+  // Directed-channel index scheme shared by directed_ and the batcher.
+  [[nodiscard]] static constexpr std::size_t directed_index(
+      ChannelId channel, pcn::Direction d) noexcept {
+    return 2 * channel + pcn::dir_index(d);
+  }
+  [[nodiscard]] static constexpr ChannelId channel_of(std::size_t idx) noexcept {
+    return static_cast<ChannelId>(idx / 2);
+  }
+  [[nodiscard]] static constexpr pcn::Direction direction_of(
+      std::size_t idx) noexcept {
+    return static_cast<pcn::Direction>(idx % 2);
+  }
+
   [[nodiscard]] DirectedState& directed(ChannelId channel, pcn::Direction d) {
-    return directed_[2 * channel + pcn::dir_index(d)];
+    return directed_[directed_index(channel, d)];
   }
   [[nodiscard]] const DirectedState& directed(ChannelId channel,
                                               pcn::Direction d) const {
-    return directed_[2 * channel + pcn::dir_index(d)];
+    return directed_[directed_index(channel, d)];
   }
 
   pcn::Network network_;
@@ -175,8 +249,15 @@ class Engine {
   EngineMetrics metrics_;
 
   std::unordered_map<PaymentId, PaymentState> states_;
+  // Batched mode: deadline events still pending, cancelled on resolution so
+  // the scheduler never executes the no-op (per-hop mode lets them fire to
+  // keep the epoch-0 event stream untouched).
+  std::unordered_map<PaymentId, sim::Scheduler::EventId> deadline_events_;
   std::unordered_map<TuId, LiveTu> live_;
   std::vector<DirectedState> directed_;
+  SettlementBatcher batcher_;
+  // Batched mode: TUs arriving at exactly the same instant share one event.
+  std::unordered_map<double, std::vector<TuId>> arrival_buckets_;
   TuId next_tu_id_ = 1;
   Amount initial_funds_ = 0;
 };

@@ -7,6 +7,7 @@
 // queues, congestion marking, deadlines, metrics); a Router decides policy
 // (paths, splitting, rates, windows, retries) through the hooks below.
 
+#include <cstddef>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -40,7 +41,16 @@ enum class FailReason : std::uint8_t {
   kQueueOverflow,      // channel waiting queue full (q_amount bound)
   kTimeout,            // payment deadline passed
   kHubOverload,        // hub processing backlog (A2L crypto cost model)
+  // When adding a reason: keep it above this comment, extend to_string, and
+  // bump the static_assert below so kFailReasonCount tracks the enum.
 };
+
+/// Number of FailReason values; sizes the per-reason metric arrays.
+inline constexpr std::size_t kFailReasonCount =
+    static_cast<std::size_t>(FailReason::kHubOverload) + 1;
+static_assert(kFailReasonCount == 6,
+              "FailReason changed: update kFailReasonCount's anchor "
+              "(last enumerator), to_string(FailReason), and this assert");
 
 [[nodiscard]] const char* to_string(FailReason reason) noexcept;
 

@@ -1,5 +1,7 @@
 #include "sim/scheduler.h"
 
+#include <cmath>
+#include <stdexcept>
 #include <utility>
 
 namespace splicer::sim {
@@ -9,6 +11,17 @@ Scheduler::EventId Scheduler::at(Time when, Callback callback) {
   queue_.push(Event{when < now_ ? now_ : when, id, std::move(callback)});
   ++live_count_;
   return id;
+}
+
+Scheduler::EventId Scheduler::at_next_boundary(Time period, Callback callback) {
+  if (period <= 0) {
+    throw std::invalid_argument("Scheduler::at_next_boundary: period <= 0");
+  }
+  // Strictly after now: a flush that runs exactly on boundary k*period and
+  // generates new work must coalesce that work onto boundary (k+1)*period.
+  Time when = (std::floor(now_ / period) + 1.0) * period;
+  while (when <= now_) when += period;  // guard against rounding at huge t/period
+  return at(when, std::move(callback));
 }
 
 bool Scheduler::cancel(EventId id) {

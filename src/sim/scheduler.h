@@ -31,6 +31,11 @@ class Scheduler {
     return at(now_ + delay, std::move(callback));
   }
 
+  /// Schedules at the next strict multiple of `period` after now — the
+  /// coalescing point for per-epoch batched work: every request made inside
+  /// one epoch lands on the same boundary timestamp. period must be > 0.
+  EventId at_next_boundary(Time period, Callback callback);
+
   /// Cancels a pending event; returns false if already fired/cancelled.
   bool cancel(EventId id);
 

@@ -97,6 +97,50 @@ TEST(Channel, NonPositiveAmountsRejected) {
   EXPECT_THROW((void)ch.transfer(Direction::kForward, -1), std::invalid_argument);
 }
 
+TEST(Channel, BulkSettleMatchesIndividualSettles) {
+  Channel a(0, 1, whole_tokens(10), whole_tokens(2));
+  Channel b(0, 1, whole_tokens(10), whole_tokens(2));
+  for (const Amount v : {whole_tokens(1), whole_tokens(3), whole_tokens(2)}) {
+    ASSERT_TRUE(a.lock(Direction::kForward, v));
+    ASSERT_TRUE(b.lock(Direction::kForward, v));
+    a.settle(Direction::kForward, v);
+  }
+  b.settle_n(Direction::kForward, whole_tokens(6), 3);
+  EXPECT_EQ(a.available(Direction::kForward), b.available(Direction::kForward));
+  EXPECT_EQ(a.available(Direction::kBackward), b.available(Direction::kBackward));
+  EXPECT_EQ(b.locked(Direction::kForward), 0);
+  EXPECT_EQ(b.total(), whole_tokens(12));
+}
+
+TEST(Channel, BulkRefundMatchesIndividualRefunds) {
+  Channel a(0, 1, whole_tokens(9), whole_tokens(1));
+  Channel b(0, 1, whole_tokens(9), whole_tokens(1));
+  for (const Amount v : {whole_tokens(4), whole_tokens(2)}) {
+    ASSERT_TRUE(a.lock(Direction::kForward, v));
+    ASSERT_TRUE(b.lock(Direction::kForward, v));
+    a.refund(Direction::kForward, v);
+  }
+  b.refund_n(Direction::kForward, whole_tokens(6), 2);
+  EXPECT_EQ(a.available(Direction::kForward), b.available(Direction::kForward));
+  EXPECT_EQ(b.locked(Direction::kForward), 0);
+}
+
+TEST(Channel, BulkOperationsValidate) {
+  Channel ch(0, 1, whole_tokens(10), whole_tokens(10));
+  ASSERT_TRUE(ch.lock(Direction::kForward, whole_tokens(5)));
+  EXPECT_THROW(ch.settle_n(Direction::kForward, whole_tokens(5), 0),
+               std::invalid_argument);
+  // A coalesced total below one token unit per operation is impossible.
+  EXPECT_THROW(ch.settle_n(Direction::kForward, 1, 2), std::invalid_argument);
+  // Settling more than the lock pool still trips the HTLC guard.
+  EXPECT_THROW(ch.settle_n(Direction::kForward, whole_tokens(6), 2),
+               std::logic_error);
+  EXPECT_THROW(ch.refund_n(Direction::kForward, whole_tokens(6), 2),
+               std::logic_error);
+  ch.settle_n(Direction::kForward, whole_tokens(5), 1);
+  EXPECT_EQ(ch.available(Direction::kBackward), whole_tokens(15));
+}
+
 TEST(DirectionHelpers, OppositeAndIndex) {
   EXPECT_EQ(opposite(Direction::kForward), Direction::kBackward);
   EXPECT_EQ(opposite(Direction::kBackward), Direction::kForward);

@@ -257,6 +257,68 @@ TEST(Engine, SendTuValidation) {
   (void)engine.run();
 }
 
+TEST(Engine, BatchedSettlementReachesSameFinalBalances) {
+  for (const double epoch_s : {0.0, 0.01, 0.25}) {
+    auto net = line_network();
+    ScriptedRouter router([&](Engine& engine, const pcn::Payment& p) {
+      engine.send_tu(two_hop_tu(engine.network(), p.id, p.value));
+    });
+    EngineConfig config;
+    config.settlement_epoch_s = epoch_s;
+    Engine engine(net, {make_payment(1, 0, 2, whole_tokens(4))}, router, config);
+    const auto m = engine.run();
+    EXPECT_EQ(m.payments_completed, 1u) << "epoch " << epoch_s;
+    // Same funds movement whether settled per hop or per epoch.
+    EXPECT_EQ(engine.network().available_from(0, 0), whole_tokens(6));
+    EXPECT_EQ(engine.network().available_from(1, 2), whole_tokens(14));
+    if (epoch_s > 0) {
+      EXPECT_GT(m.settlement_flushes, 0u);
+      EXPECT_EQ(m.settlements_batched, 2u);  // two hops settled
+    }
+  }
+}
+
+TEST(Engine, BatchedRefundRestoresUpstreamLocks) {
+  auto net = line_network(whole_tokens(10));
+  auto& ch = net.channel(net.topology().find_edge(1, 2));
+  ASSERT_TRUE(ch.lock(ch.direction_from(1), whole_tokens(10)));  // block 1->2
+
+  ScriptedRouter router([&](Engine& engine, const pcn::Payment& p) {
+    engine.send_tu(two_hop_tu(engine.network(), p.id, p.value));
+  });
+  EngineConfig config;
+  config.queues_enabled = false;
+  config.settlement_epoch_s = 0.01;
+  Engine engine(std::move(net), {make_payment(1, 0, 2, whole_tokens(5))}, router,
+                config);
+  const auto m = engine.run();
+  EXPECT_EQ(m.tus_failed, 1u);
+  // The first-hop lock was refunded through the epoch buffer.
+  EXPECT_EQ(engine.network().available_from(0, 0), whole_tokens(10));
+}
+
+TEST(Engine, BatchedModeProcessesFewerEvents) {
+  const auto run_with = [](double epoch_s) {
+    auto net = line_network(whole_tokens(1000));
+    ScriptedRouter router([&](Engine& engine, const pcn::Payment& p) {
+      engine.send_tu(two_hop_tu(engine.network(), p.id, p.value));
+    });
+    std::vector<pcn::Payment> payments;
+    for (int i = 0; i < 40; ++i) {
+      payments.push_back(
+          make_payment(i + 1, 0, 2, whole_tokens(2), 0.1 + 0.01 * i));
+    }
+    EngineConfig config;
+    config.settlement_epoch_s = epoch_s;
+    Engine engine(std::move(net), payments, router, config);
+    return engine.run();
+  };
+  const auto per_hop = run_with(0.0);
+  const auto batched = run_with(0.05);
+  EXPECT_EQ(per_hop.payments_completed, batched.payments_completed);
+  EXPECT_LT(batched.scheduler_events, per_hop.scheduler_events);
+}
+
 TEST(Engine, MetricsCountsGeneratedAndValue) {
   auto net = line_network();
   ScriptedRouter router([](Engine&, const pcn::Payment&) {});

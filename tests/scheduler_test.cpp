@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <stdexcept>
 #include <vector>
 
 namespace splicer::sim {
@@ -118,6 +119,48 @@ TEST(Scheduler, StepExecutesExactlyOne) {
   EXPECT_EQ(count, 1);
   EXPECT_TRUE(s.step());
   EXPECT_FALSE(s.step());
+}
+
+TEST(Scheduler, AtNextBoundaryCoalescesOntoEpochGrid) {
+  Scheduler s;
+  std::vector<double> fired;
+  s.at(0.013, [&] {
+    // Both requests from inside one epoch land on the same boundary.
+    s.at_next_boundary(0.010, [&] { fired.push_back(s.now()); });
+    s.at_next_boundary(0.010, [&] { fired.push_back(s.now()); });
+  });
+  s.run();
+  ASSERT_EQ(fired.size(), 2u);
+  EXPECT_NEAR(fired[0], 0.020, 1e-12);
+  // Coalescing requires the two boundary timestamps to be bit-identical.
+  EXPECT_EQ(fired[0], fired[1]);
+}
+
+TEST(Scheduler, AtNextBoundaryIsStrictlyAfterNow) {
+  Scheduler s;
+  double fired = -1.0;
+  s.at(0.020, [&] {
+    // Exactly on a boundary: the next one must be chosen, not this one.
+    s.at_next_boundary(0.010, [&] { fired = s.now(); });
+  });
+  s.run();
+  EXPECT_NEAR(fired, 0.030, 1e-12);
+  EXPECT_GT(fired, 0.020);
+}
+
+TEST(Scheduler, AtNextBoundaryRejectsNonPositivePeriod) {
+  Scheduler s;
+  EXPECT_THROW(s.at_next_boundary(0.0, [] {}), std::invalid_argument);
+}
+
+TEST(Scheduler, RunCountsOnlyRealExecutions) {
+  Scheduler s;
+  s.at(1.0, [] {});
+  const auto cancelled = s.at(2.0, [] {});
+  s.at(3.0, [] {});
+  EXPECT_TRUE(s.cancel(cancelled));
+  // Cancelled events are skipped without being counted as executed.
+  EXPECT_EQ(s.run(), 2u);
 }
 
 TEST(Scheduler, EventsScheduledDuringRunExecute) {

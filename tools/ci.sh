@@ -3,6 +3,14 @@
 # full ctest suite, then re-run the fast `smoke` label on its own so the
 # cheap-suite subset is exercised exactly as developers use it.
 #
+# After the unit suites, the fig7 bench runs in its smoke configuration
+# three times to pin the batched-settlement contract:
+#   1. --threads 1, epoch 0   -> the sequential baseline CSVs
+#   2. default threads, epoch 0 -> must be byte-identical to the baseline
+#      (parallel runner AND the epoch-0 engine path change nothing)
+#   3. epoch 10 ms            -> batched mode completes with the engine's
+#      funds-conservation check intact
+#
 # Usage: tools/ci.sh [build-dir]   (default: build-ci)
 set -euo pipefail
 
@@ -15,5 +23,22 @@ cmake --build "$BUILD_DIR" -j "$JOBS"
 
 ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$JOBS"
 ctest --test-dir "$BUILD_DIR" -L smoke -j "$JOBS"
+
+SMOKE_DIR="$BUILD_DIR/fig7-smoke"
+rm -rf "$SMOKE_DIR"
+mkdir -p "$SMOKE_DIR/baseline" "$SMOKE_DIR/epoch0"
+
+echo "CI: fig7 smoke, sequential epoch-0 baseline"
+SPLICER_BENCH_FAST=1 SPLICER_BENCH_CSV="$SMOKE_DIR/baseline" \
+  "$BUILD_DIR/bench_fig7_small_scale" --threads 1 > "$SMOKE_DIR/baseline.txt"
+
+echo "CI: fig7 smoke, parallel epoch-0 (must match baseline byte-for-byte)"
+SPLICER_BENCH_FAST=1 SPLICER_BENCH_CSV="$SMOKE_DIR/epoch0" \
+  "$BUILD_DIR/bench_fig7_small_scale" --settlement-epoch 0 > "$SMOKE_DIR/epoch0.txt"
+diff -r "$SMOKE_DIR/baseline" "$SMOKE_DIR/epoch0"
+
+echo "CI: fig7 smoke, batched settlement (epoch 10 ms)"
+SPLICER_BENCH_FAST=1 \
+  "$BUILD_DIR/bench_fig7_small_scale" --settlement-epoch 10 > "$SMOKE_DIR/epoch10.txt"
 
 echo "CI: all green"

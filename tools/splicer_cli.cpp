@@ -2,11 +2,12 @@
 //
 //   splicer_cli compare  [--nodes N] [--payments N] [--seed S] [--tau MS]
 //                        [--fund-scale X] [--value-scale X] [--scale-free]
-//                        [--threads N] [--trials K]
+//                        [--threads N] [--trials K] [--settlement-epoch MS]
 //       run all six schemes on one shared scenario and print the comparison;
 //       simulations fan out over N worker threads (0 = all hardware
 //       threads) and, with K > 1, repeat over K derived-seed workloads and
-//       report mean +/- stddev
+//       report mean +/- stddev. --settlement-epoch > 0 batches engine
+//       settlements per (channel, direction) per epoch (0 = exact per-hop)
 //
 //   splicer_cli place    [--nodes N] [--candidates N] [--omega W] [--seed S]
 //                        [--solver exhaustive|approx|milp|descent]
@@ -104,6 +105,8 @@ int cmd_compare(const Args& args) {
 
   routing::SchemeConfig scheme_config;
   scheme_config.protocol.tau_s = args.real("tau", 200.0) / 1000.0;
+  scheme_config.engine.settlement_epoch_s =
+      args.real("settlement-epoch", 0.0) / 1000.0;
   std::vector<routing::SchemeTask> tasks;
   for (const auto scheme :
        {routing::Scheme::kSplicer, routing::Scheme::kSpider,
