@@ -11,6 +11,11 @@
 //   SPLICER_BENCH_CSV=dir         also write each table as CSV into `dir`
 //   SPLICER_BENCH_THREADS=N       default for --threads
 //   SPLICER_BENCH_SETTLE_EPOCH_MS=X  default for --settlement-epoch
+//   SPLICER_BENCH_TRIALS=K        default for --trials (mean +/- 95% CI)
+//   SPLICER_BENCH_WORKLOAD=KIND   synthetic|trace|bursty|hotspot
+//   SPLICER_BENCH_TRACE=path      trace CSV for SPLICER_BENCH_WORKLOAD=trace
+//   SPLICER_BENCH_STREAMING=1     engines pull payments lazily (no
+//                                 materialised workload vector)
 
 #include <cstdlib>
 #include <cstring>
@@ -57,8 +62,37 @@ inline double settlement_epoch_s(int argc, char** argv) {
   return v != nullptr ? std::strtod(v, nullptr) / 1000.0 : 0.0;
 }
 
+/// Trial count: `--trials K` beats SPLICER_BENCH_TRIALS beats 1. With
+/// K > 1 the figure tables print mean +/- 95% CI over derived-seed trials.
+inline std::size_t trial_count(int argc, char** argv) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], "--trials") == 0) {
+      return std::max<std::size_t>(1, std::strtoull(argv[i + 1], nullptr, 10));
+    }
+  }
+  const char* v = std::getenv("SPLICER_BENCH_TRIALS");
+  return v != nullptr ? std::max<std::size_t>(1, std::strtoull(v, nullptr, 10))
+                      : 1;
+}
+
 /// Scales a payment count down in fast mode.
 inline std::size_t scaled(std::size_t n) { return fast_mode() ? n / 4 : n; }
+
+/// Applies the SPLICER_BENCH_WORKLOAD / _TRACE / _STREAMING overrides so
+/// every figure bench can replay traces or run the bursty/hotspot
+/// generators without recompiling. No env set = untouched config (the CI
+/// byte-identity path).
+inline void apply_workload_env(routing::ScenarioConfig& config) {
+  if (const char* kind = std::getenv("SPLICER_BENCH_WORKLOAD")) {
+    config.workload.kind = pcn::workload_kind_from(kind);
+  }
+  if (const char* trace = std::getenv("SPLICER_BENCH_TRACE")) {
+    config.workload.trace_file = trace;
+  }
+  if (const char* streaming = std::getenv("SPLICER_BENCH_STREAMING")) {
+    config.workload.streaming = streaming[0] == '1';
+  }
+}
 
 /// Prints a titled table and optionally mirrors it to CSV.
 inline void emit(const std::string& title, const common::Table& table,
@@ -80,6 +114,7 @@ inline routing::ScenarioConfig small_scale_config() {
   config.placement.omega = 0.1;
   config.workload.payment_count = scaled(1500);
   config.workload.horizon_seconds = 25.0;
+  apply_workload_env(config);
   return config;
 }
 
@@ -95,6 +130,7 @@ inline routing::ScenarioConfig large_scale_config() {
   config.placement.omega = 0.1;
   config.workload.payment_count = scaled(3000);
   config.workload.horizon_seconds = 18.0;
+  apply_workload_env(config);
   return config;
 }
 

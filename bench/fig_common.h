@@ -15,14 +15,26 @@
 #include <vector>
 
 #include "bench_util.h"
+#include "common/stats.h"
 
 namespace splicer::bench {
 
+/// Formats one table cell: the exact single-run percentage when trials ==
+/// 1 (the CI byte-identity path), mean +/- 95% CI over the derived-seed
+/// trials otherwise.
+inline std::string percent_cell(const common::RunningStats& stats,
+                                double single_run, std::size_t trials) {
+  if (trials <= 1) return common::format_percent(single_run);
+  return common::format_percent(stats.mean()) + " +/- " +
+         common::format_percent(common::ci95_half_width(stats));
+}
+
 inline void run_figure(const std::string& figure, routing::ScenarioConfig base,
-                       std::size_t threads, double settlement_epoch_s = 0.0) {
+                       std::size_t threads, double settlement_epoch_s = 0.0,
+                       std::size_t trials = 1) {
   using routing::Scheme;
   const auto schemes = routing::comparison_schemes();
-  routing::ParallelRunner runner({threads, /*trials=*/1});
+  routing::ParallelRunner runner({threads, trials});
 
   // Engine config shared by every panel; settlement_epoch_s = 0 keeps the
   // exact per-hop settlement path (byte-identical tables).
@@ -62,8 +74,9 @@ inline void run_figure(const std::string& figure, routing::ScenarioConfig base,
       channel_table.set(row, 0,
                         "x" + common::format_double(channel_scales[row_idx], 1));
       for (std::size_t i = 0; i < schemes.size(); ++i) {
+        const auto& cell = results[row_idx][i];
         channel_table.set(row, i + 1,
-                          common::format_percent(results[row_idx][i].first().tsr()));
+                          percent_cell(cell.tsr, cell.first().tsr(), trials));
       }
     }
     emit(figure + "(a) TSR vs channel size (x mean 403 tokens)", channel_table,
@@ -76,7 +89,9 @@ inline void run_figure(const std::string& figure, routing::ScenarioConfig base,
                       "x" + common::format_double(value_scales[row_idx], 2));
       const auto& point = results[channel_scales.size() + row_idx];
       for (std::size_t i = 0; i < schemes.size(); ++i) {
-        value_table.set(row, i + 1, common::format_percent(point[i].first().tsr()));
+        value_table.set(row, i + 1,
+                        percent_cell(point[i].tsr, point[i].first().tsr(),
+                                     trials));
       }
     }
     emit(figure + "(b) TSR vs transaction size (x credit-card mean 88)",
@@ -111,16 +126,22 @@ inline void run_figure(const std::string& figure, routing::ScenarioConfig base,
       thr_table.set(thr_row, 0, label);
       double other_best_tsr = 0.0, other_best_thr = 0.0;
       for (std::size_t i = 0; i < schemes.size(); ++i) {
-        const auto& m = results[tau_idx * schemes.size() + i].first();
-        tsr_table.set(tsr_row, i + 1, common::format_percent(m.tsr()));
+        const auto& cell = results[tau_idx * schemes.size() + i];
+        const auto& m = cell.first();
+        tsr_table.set(tsr_row, i + 1,
+                      percent_cell(cell.tsr, m.tsr(), trials));
         thr_table.set(thr_row, i + 1,
-                      common::format_percent(m.normalized_throughput()));
+                      percent_cell(cell.throughput, m.normalized_throughput(),
+                                   trials));
+        // Headline averages use the trial mean (== the single run at K=1).
+        const double tsr = cell.tsr.mean();
+        const double thr = cell.throughput.mean();
         if (schemes[i] == routing::Scheme::kSplicer) {
-          splicer_tsr.push_back(m.tsr());
-          splicer_thr.push_back(m.normalized_throughput());
+          splicer_tsr.push_back(tsr);
+          splicer_thr.push_back(thr);
         } else {
-          other_best_tsr = std::max(other_best_tsr, m.tsr());
-          other_best_thr = std::max(other_best_thr, m.normalized_throughput());
+          other_best_tsr = std::max(other_best_tsr, tsr);
+          other_best_thr = std::max(other_best_thr, thr);
         }
       }
       best_other_tsr.push_back(other_best_tsr);

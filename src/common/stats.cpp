@@ -42,6 +42,18 @@ void RunningStats::merge(const RunningStats& other) noexcept {
   max_ = std::max(max_, other.max_);
 }
 
+double ci95_half_width(const RunningStats& stats) noexcept {
+  if (stats.count() < 2) return 0.0;
+  // Two-sided 95% Student t quantiles for df = 1..30.
+  static constexpr double kT95[30] = {
+      12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228,
+      2.201,  2.179, 2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086,
+      2.080,  2.074, 2.069, 2.064, 2.060, 2.056, 2.052, 2.048, 2.045, 2.042};
+  const std::size_t df = stats.count() - 1;
+  const double t = df <= 30 ? kT95[df - 1] : 1.96;
+  return t * stats.stddev() / std::sqrt(static_cast<double>(stats.count()));
+}
+
 double percentile(std::vector<double> values, double q) {
   if (values.empty()) return 0.0;
   if (q < 0.0 || q > 1.0) throw std::invalid_argument("percentile q out of [0,1]");

@@ -37,6 +37,11 @@ class RunningStats {
   double max_ = -std::numeric_limits<double>::infinity();
 };
 
+/// Half-width of the 95% confidence interval of the mean: t * s / sqrt(n)
+/// with the two-sided Student t quantile for n - 1 degrees of freedom
+/// (1.96 beyond df 30). 0 for fewer than two samples.
+[[nodiscard]] double ci95_half_width(const RunningStats& stats) noexcept;
+
 /// Percentile of a sample (linear interpolation between closest ranks).
 /// q in [0, 1]. Copies and sorts; fine for evaluation-sized data.
 [[nodiscard]] double percentile(std::vector<double> values, double q);

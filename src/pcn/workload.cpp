@@ -1,11 +1,74 @@
 #include "pcn/workload.h"
 
-#include <algorithm>
 #include <stdexcept>
 
-#include "common/samplers.h"
+#include "pcn/traffic_source.h"
 
 namespace splicer::pcn {
+
+const char* to_string(WorkloadKind kind) noexcept {
+  switch (kind) {
+    case WorkloadKind::kSynthetic: return "synthetic";
+    case WorkloadKind::kTrace: return "trace";
+    case WorkloadKind::kBursty: return "bursty";
+    case WorkloadKind::kHotspot: return "hotspot";
+  }
+  return "?";
+}
+
+WorkloadKind workload_kind_from(const std::string& name) {
+  if (name == "synthetic") return WorkloadKind::kSynthetic;
+  if (name == "trace") return WorkloadKind::kTrace;
+  if (name == "bursty") return WorkloadKind::kBursty;
+  if (name == "hotspot") return WorkloadKind::kHotspot;
+  throw std::invalid_argument(
+      "unknown workload kind '" + name +
+      "' (expected synthetic|trace|bursty|hotspot)");
+}
+
+void WorkloadConfig::validate() const {
+  // A trace replays however many rows the file holds; every generative
+  // kind needs a positive target count.
+  if (kind != WorkloadKind::kTrace && payment_count == 0) {
+    throw std::invalid_argument("WorkloadConfig: payment_count must be > 0");
+  }
+  if (!(horizon_seconds > 0.0)) {
+    throw std::invalid_argument("WorkloadConfig: horizon_seconds must be > 0");
+  }
+  if (!(timeout_seconds > 0.0)) {
+    throw std::invalid_argument("WorkloadConfig: timeout_seconds must be > 0");
+  }
+  if (!(sink_fraction >= 0.0 && sink_fraction <= 1.0)) {
+    throw std::invalid_argument(
+        "WorkloadConfig: sink_fraction must be in [0, 1]");
+  }
+  if (!(imbalance >= 0.0 && imbalance <= 1.0)) {
+    throw std::invalid_argument("WorkloadConfig: imbalance must be in [0, 1]");
+  }
+  if (!(value_scale > 0.0)) {
+    throw std::invalid_argument("WorkloadConfig: value_scale must be > 0");
+  }
+  if (sender_zipf < 0.0 || receiver_zipf < 0.0) {
+    throw std::invalid_argument("WorkloadConfig: zipf exponents must be >= 0");
+  }
+  if (kind == WorkloadKind::kTrace && trace_file.empty()) {
+    throw std::invalid_argument(
+        "WorkloadConfig: trace workload needs a trace_file");
+  }
+  if (kind == WorkloadKind::kBursty) {
+    if (!(burst_period_s > 0.0)) {
+      throw std::invalid_argument("WorkloadConfig: burst_period_s must be > 0");
+    }
+    if (!(burst_amplitude >= 0.0 && burst_amplitude <= 1.0)) {
+      throw std::invalid_argument(
+          "WorkloadConfig: burst_amplitude must be in [0, 1]");
+    }
+  }
+  if (kind == WorkloadKind::kHotspot && !(hotspot_shift_interval_s > 0.0)) {
+    throw std::invalid_argument(
+        "WorkloadConfig: hotspot_shift_interval_s must be > 0");
+  }
+}
 
 std::vector<Payment> generate_payments(const std::vector<NodeId>& clients,
                                        const WorkloadConfig& config,
@@ -13,58 +76,12 @@ std::vector<Payment> generate_payments(const std::vector<NodeId>& clients,
   if (clients.size() < 2) {
     throw std::invalid_argument("generate_payments: need >= 2 clients");
   }
-  const auto value_sampler = common::make_txn_value_sampler();
-  const common::ZipfSampler sender_sampler(clients.size(), config.sender_zipf);
-  const common::ZipfSampler receiver_sampler(clients.size(), config.receiver_zipf);
-
-  // Distinct random popularity orders for senders and receivers, so the
-  // hottest sender is generally not the hottest receiver.
-  std::vector<NodeId> sender_order = clients;
-  std::vector<NodeId> receiver_order = clients;
-  rng.shuffle(sender_order);
-  rng.shuffle(receiver_order);
-
-  const std::size_t sink_count =
-      std::max<std::size_t>(1, static_cast<std::size_t>(
-                                   static_cast<double>(clients.size()) *
-                                   config.sink_fraction));
-
-  // Poisson arrivals with rate matched to the horizon.
-  const double rate = static_cast<double>(config.payment_count) /
-                      std::max(config.horizon_seconds, 1e-9);
-  common::PoissonProcess arrivals(rate);
-
-  std::vector<Payment> payments;
-  payments.reserve(config.payment_count);
-  for (std::size_t i = 0; i < config.payment_count; ++i) {
-    Payment p;
-    p.id = static_cast<PaymentId>(i + 1);
-    p.sender = sender_order[sender_sampler.sample(rng)];
-    if (rng.bernoulli(config.imbalance)) {
-      // Route extra mass to the sink set: net funds drain toward them.
-      p.receiver = receiver_order[rng.index(sink_count)];
-    } else {
-      p.receiver = receiver_order[receiver_sampler.sample(rng)];
-    }
-    if (p.receiver == p.sender) {
-      // Deterministic fallback: next client in receiver order.
-      const auto it = std::find(receiver_order.begin(), receiver_order.end(), p.sender);
-      const auto idx = static_cast<std::size_t>(it - receiver_order.begin());
-      p.receiver = receiver_order[(idx + 1) % receiver_order.size()];
-    }
-    p.value = common::tokens(value_sampler.sample(rng) * config.value_scale);
-    p.value = std::max<Amount>(p.value, common::whole_tokens(1));
-    p.arrival_time = arrivals.next(rng);
-    p.deadline = p.arrival_time + config.timeout_seconds;
-    payments.push_back(p);
-  }
-  // Arrival times are already sorted (Poisson process is monotone), but the
-  // engine relies on it, so assert the invariant cheaply here.
-  for (std::size_t i = 1; i < payments.size(); ++i) {
-    if (payments[i].arrival_time < payments[i - 1].arrival_time) {
-      throw std::logic_error("generate_payments: arrivals not monotone");
-    }
-  }
+  // The synthetic stream consumes the RNG in exactly the order this
+  // function historically drew; hand the final state back so callers that
+  // keep using `rng` afterwards see an unchanged stream.
+  SyntheticSource source(clients, config, rng);
+  auto payments = drain(source, config.payment_count);
+  rng = source.rng_state();
   return payments;
 }
 

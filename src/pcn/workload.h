@@ -8,7 +8,11 @@
 //    flows are unbalanced - the paper confirms its transactions "are
 //    guaranteed to cause some local deadlocks and contain large-value
 //    transactions".
+//
+// The paper's synthetic workload is one of several WorkloadKinds; the
+// streaming source implementations live in pcn/traffic_source.h.
 
+#include <string>
 #include <vector>
 
 #include "common/rng.h"
@@ -25,7 +29,21 @@ struct Payment {
   double deadline = 0.0;      // arrival + timeout
 };
 
+/// Which traffic source a workload config describes (see traffic_source.h).
+enum class WorkloadKind : std::uint8_t {
+  kSynthetic,  // the paper's workload: log-normal values, Zipf endpoints
+  kTrace,      // CSV trace replay (time,sender,receiver,amount)
+  kBursty,     // synthetic with a sinusoidal-rate (diurnal) Poisson process
+  kHotspot,    // synthetic with Zipf popularity ranks rotating mid-run
+};
+
+[[nodiscard]] const char* to_string(WorkloadKind kind) noexcept;
+/// Parses "synthetic" | "trace" | "bursty" | "hotspot" (CLI flag values);
+/// throws std::invalid_argument on anything else.
+[[nodiscard]] WorkloadKind workload_kind_from(const std::string& name);
+
 struct WorkloadConfig {
+  WorkloadKind kind = WorkloadKind::kSynthetic;
   std::size_t payment_count = 2000;
   double horizon_seconds = 30.0;   // arrivals spread over [0, horizon)
   double timeout_seconds = 3.0;    // paper: transaction timeout 3 s
@@ -34,10 +52,35 @@ struct WorkloadConfig {
   double receiver_zipf = 0.9;      // receivers more concentrated -> net sinks
   double imbalance = 0.15;         // extra probability mass on "sink" nodes
   double sink_fraction = 0.1;      // fraction of clients acting as sinks
+
+  /// Streaming mode: the scenario keeps no materialised payment vector and
+  /// every engine run pulls payments lazily from a fresh TrafficSource.
+  bool streaming = false;
+
+  // ---- kTrace ----------------------------------------------------------
+  std::string trace_file;     // CSV path: time,sender,receiver,amount
+  /// true: trace endpoint labels are opaque and get remapped onto the
+  /// client set in first-seen order. false: endpoints must be numeric
+  /// indices into the client set; out-of-range rows are skipped.
+  bool trace_remap = true;
+
+  // ---- kBursty ---------------------------------------------------------
+  double burst_period_s = 10.0;   // sinusoid period of the arrival rate
+  double burst_amplitude = 0.8;   // relative swing in [0, 1]
+
+  // ---- kHotspot --------------------------------------------------------
+  double hotspot_shift_interval_s = 8.0;  // arrival-time span between shifts
+  std::size_t hotspot_rotation = 0;       // ranks rotated per shift; 0 = n/4
+
+  /// Throws std::invalid_argument on inconsistent knobs (zero payments,
+  /// non-positive horizon/timeout, sink_fraction outside [0, 1], ...).
+  void validate() const;
 };
 
 /// Generates `config.payment_count` payments among `clients` (>= 2 nodes).
-/// Senders and receivers are always distinct. Deterministic given `rng`.
+/// Senders and receivers are always distinct. Deterministic given `rng`
+/// (implemented by draining a traffic source built for `config`; the
+/// caller's rng is advanced exactly as the draining consumed it).
 [[nodiscard]] std::vector<Payment> generate_payments(
     const std::vector<NodeId>& clients, const WorkloadConfig& config,
     common::Rng& rng);

@@ -28,26 +28,41 @@ const char* to_string(FailReason reason) noexcept {
   return "?";
 }
 
-Engine::Engine(pcn::Network network, std::vector<pcn::Payment> payments,
+Engine::Engine(pcn::Network network, std::unique_ptr<pcn::TrafficSource> source,
                Router& router, EngineConfig config)
     : network_(std::move(network)),
-      payments_(std::move(payments)),
+      source_(std::move(source)),
       router_(router),
       config_(config),
       rng_(config.seed) {
+  if (!source_) throw std::invalid_argument("Engine: null traffic source");
+  source_horizon_ = source_->horizon_hint();
   directed_.resize(2 * network_.channel_count());
   batcher_.pending.resize(2 * network_.channel_count());
   initial_funds_ = network_.total_funds();
 }
 
+Engine::Engine(pcn::Network network, std::vector<pcn::Payment> payments,
+               Router& router, EngineConfig config)
+    : Engine(std::move(network),
+             std::make_unique<pcn::VectorSource>(std::move(payments)), router,
+             config) {}
+
 EngineMetrics Engine::run() {
   router_.on_start(*this);
-  schedule_arrivals();
+  schedule_next_arrival();
 
-  double last_deadline = 0.0;
-  for (const auto& p : payments_) last_deadline = std::max(last_deadline, p.deadline);
-  const double hard_stop = last_deadline + config_.horizon_slack_s + 60.0;
-  metrics_.scheduler_events = scheduler_.run(hard_stop);
+  // The hard stop tracks the deadlines pulled so far; streamed arrivals
+  // keep extending it, so the loop re-runs until the bound stabilises (for
+  // replay sources the final bound equals the old whole-vector scan).
+  double hard_stop = last_deadline_seen_ + config_.horizon_slack_s + 60.0;
+  for (;;) {
+    metrics_.scheduler_events += scheduler_.run(hard_stop);
+    const double extended =
+        last_deadline_seen_ + config_.horizon_slack_s + 60.0;
+    if (scheduler_.empty() || extended <= hard_stop) break;
+    hard_stop = extended;
+  }
 
   metrics_.simulated_seconds = scheduler_.now();
   if (config_.settlement_epoch_s > 0) {
@@ -62,22 +77,46 @@ EngineMetrics Engine::run() {
   return metrics_;
 }
 
-void Engine::schedule_arrivals() {
-  for (const auto& payment : payments_) {
-    scheduler_.at(payment.arrival_time, [this, payment] {
-      auto [it, inserted] = states_.emplace(payment.id, PaymentState{payment});
-      if (!inserted) throw std::logic_error("Engine: duplicate payment id");
-      ++metrics_.payments_generated;
-      metrics_.value_generated += payment.value;
-      // payreq over the secure channel + KMG key issuance.
-      metrics_.messages.control_messages += 2;
-      router_.on_payment(*this, payment);
-    });
-    const auto deadline_event = scheduler_.at(
-        payment.deadline, [this, id = payment.id] { on_payment_deadline(id); });
-    if (config_.settlement_epoch_s > 0) {
-      deadline_events_.emplace(payment.id, deadline_event);
-    }
+void Engine::schedule_next_arrival() {
+  auto payment = source_->next();
+  if (!payment) return;
+  if (payment->arrival_time < last_arrival_time_) {
+    throw std::logic_error("Engine: source arrivals not monotone");
+  }
+  last_arrival_time_ = payment->arrival_time;
+  // Fold the deadline in at pull time: the run() hard stop must already
+  // cover this arrival while it is still pending, however sparse the
+  // arrival process is.
+  last_deadline_seen_ = std::max(last_deadline_seen_, payment->deadline);
+  ++pending_arrivals_;
+  note_buffer_peak();
+  scheduler_.at(payment->arrival_time,
+                [this, p = *payment] { on_arrival(p); });
+}
+
+void Engine::on_arrival(const pcn::Payment& payment) {
+  --pending_arrivals_;
+  auto [it, inserted] = states_.emplace(payment.id, PaymentState{payment});
+  if (!inserted) throw std::logic_error("Engine: duplicate payment id");
+  ++active_payments_;
+  note_buffer_peak();
+  ++metrics_.payments_generated;
+  metrics_.value_generated += payment.value;
+  // payreq over the secure channel + KMG key issuance.
+  metrics_.messages.control_messages += 2;
+  const auto deadline_event = scheduler_.at(
+      payment.deadline, [this, id = payment.id] { on_payment_deadline(id); });
+  if (config_.settlement_epoch_s > 0) {
+    deadline_events_.emplace(payment.id, deadline_event);
+  }
+  router_.on_payment(*this, payment);
+  schedule_next_arrival();
+}
+
+void Engine::note_buffer_peak() noexcept {
+  const std::size_t resident = pending_arrivals_ + active_payments_;
+  if (resident > metrics_.peak_payment_buffer) {
+    metrics_.peak_payment_buffer = resident;
   }
 }
 
@@ -121,6 +160,7 @@ void Engine::fail_payment(PaymentId id, FailReason reason) {
   if (!state.active()) return;
   cancel_deadline_event(id);
   state.failed = true;
+  --active_payments_;
   ++metrics_.payments_failed;
   ++metrics_.payment_fail_reasons[static_cast<std::size_t>(reason)];
   router_.on_payment_timeout(*this, id);
@@ -220,6 +260,7 @@ void Engine::deliver(TuId id) {
   if (!state.failed && !state.completed && state.delivered >= state.payment.value) {
     cancel_deadline_event(state.payment.id);
     state.completed = true;
+    --active_payments_;
     state.completion_time = scheduler_.now();
     ++metrics_.payments_completed;
     metrics_.value_completed += state.payment.value;
@@ -544,6 +585,7 @@ void Engine::on_payment_deadline(PaymentId id) {
   auto& state = it->second;
   if (!state.active()) return;
   state.failed = true;
+  --active_payments_;
   ++metrics_.payments_failed;
   ++metrics_.payment_fail_reasons[static_cast<std::size_t>(FailReason::kTimeout)];
   ++metrics_.messages.control_messages;  // withdraw notice

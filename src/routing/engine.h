@@ -23,6 +23,7 @@
 
 #include "common/rng.h"
 #include "pcn/network.h"
+#include "pcn/traffic_source.h"
 #include "pcn/workload.h"
 #include "routing/router.h"
 #include "sim/counters.h"
@@ -74,6 +75,12 @@ struct EngineMetrics {
   std::uint64_t settlement_flushes = 0;
   /// Individual settle/refund operations coalesced into flush events.
   std::uint64_t settlements_batched = 0;
+  /// Peak number of payments simultaneously resident in the arrival
+  /// pipeline: pulled from the traffic source but not yet arrived, plus
+  /// arrived but not yet completed/failed. The engine pulls lazily (one
+  /// look-ahead payment), so this stays at the workload's concurrency
+  /// level rather than its total size - the streaming-scale signal.
+  std::size_t peak_payment_buffer = 0;
 
   /// Transaction success ratio: completed / generated payments.
   [[nodiscard]] double tsr() const {
@@ -112,6 +119,13 @@ struct PaymentState {
 
 class Engine {
  public:
+  /// Streams payments lazily out of `source`: the next arrival event is
+  /// scheduled only when the previous one fires, so the engine never holds
+  /// more than one unarrived payment regardless of workload size.
+  Engine(pcn::Network network, std::unique_ptr<pcn::TrafficSource> source,
+         Router& router, EngineConfig config = {});
+
+  /// Compatibility: replays a pre-built vector (wrapped in a VectorSource).
   Engine(pcn::Network network, std::vector<pcn::Payment> payments,
          Router& router, EngineConfig config = {});
 
@@ -134,8 +148,15 @@ class Engine {
   TuId send_tu(TransactionUnit tu);
 
   [[nodiscard]] PaymentState& payment_state(PaymentId id);
-  [[nodiscard]] const std::vector<pcn::Payment>& payments() const noexcept {
-    return payments_;
+
+  /// Upper bound on the last payment deadline: exact once the source is
+  /// drained (and from the start for replay sources, whose hint is exact);
+  /// before that, the larger of the source's hint and the deadlines seen so
+  /// far. Routers bound their recurring price/probe ticks with this instead
+  /// of scanning a materialised payment vector.
+  [[nodiscard]] double workload_horizon() const noexcept {
+    return source_horizon_ > last_deadline_seen_ ? source_horizon_
+                                                 : last_deadline_seen_;
   }
 
   /// Marks the payment failed (router decision, e.g., no path exists).
@@ -182,7 +203,11 @@ class Engine {
   };
 
   // Mechanics.
-  void schedule_arrivals();
+  /// Pulls the next payment from the source (if any) and schedules its
+  /// arrival event; called once at start-up and then from each arrival.
+  void schedule_next_arrival();
+  void on_arrival(const pcn::Payment& payment);
+  void note_buffer_peak() noexcept;
   void attempt_hop(TuId id);
   /// Schedules arrive_next after the hop delay. Batched mode coalesces
   /// same-instant arrivals (common: a flush forwards many TUs at one
@@ -241,12 +266,19 @@ class Engine {
   }
 
   pcn::Network network_;
-  std::vector<pcn::Payment> payments_;
+  std::unique_ptr<pcn::TrafficSource> source_;
   Router& router_;
   EngineConfig config_;
   sim::Scheduler scheduler_;
   common::Rng rng_;
   EngineMetrics metrics_;
+
+  // Streaming-arrival state.
+  double source_horizon_ = 0.0;      // source->horizon_hint() at start
+  double last_arrival_time_ = 0.0;   // monotonicity guard
+  double last_deadline_seen_ = 0.0;  // grows as payments are pulled
+  std::size_t pending_arrivals_ = 0; // pulled but not yet arrived (<= 1)
+  std::size_t active_payments_ = 0;  // arrived, not yet resolved
 
   std::unordered_map<PaymentId, PaymentState> states_;
   // Batched mode: deadline events still pending, cancelled on resolution so

@@ -69,13 +69,30 @@ Scenario prepare_scenario(const ScenarioConfig& config) {
   }
   if (clients.size() < 2) throw std::logic_error("prepare_scenario: too few clients");
 
-  std::vector<pcn::Payment> payments =
-      pcn::generate_payments(clients, config.workload, rng);
+  config.workload.validate();
+  // Snapshot the RNG at the workload point: make_source() re-derives the
+  // identical stream from it for every run (and for the materialised
+  // vector below, so streaming toggles nothing but memory).
+  const common::Rng workload_rng = rng;
+  std::vector<pcn::Payment> payments;
+  if (!config.workload.streaming) {
+    const auto source =
+        pcn::make_traffic_source(clients, config.workload, workload_rng);
+    payments = pcn::drain(*source);
+  }
 
   return Scenario{std::move(raw),       std::move(multi_star),
                   std::move(single_star), std::move(instance),
                   std::move(plan),      std::move(payments),
-                  std::move(clients)};
+                  std::move(clients),   config.workload,
+                  workload_rng};
+}
+
+std::unique_ptr<pcn::TrafficSource> Scenario::make_source() const {
+  if (!workload.streaming) {
+    return std::make_unique<pcn::VectorSource>(&payments);
+  }
+  return pcn::make_traffic_source(clients, workload, workload_rng);
 }
 
 EngineMetrics run_scheme(const Scenario& scenario, Scheme scheme,
@@ -86,8 +103,8 @@ EngineMetrics run_scheme(const Scenario& scenario, Scheme scheme,
       SplicerRouter::Config rc;
       rc.protocol = config.protocol;
       SplicerRouter router(scenario.multi_star.hub_of, scenario.multi_star.hubs, rc);
-      Engine engine(scenario.multi_star.network, scenario.payments, router,
-                    config.engine);
+      Engine engine(scenario.multi_star.network, scenario.make_source(),
+                    router, config.engine);
       return engine.run();
     }
     case Scheme::kSpider: {
@@ -97,19 +114,22 @@ EngineMetrics run_scheme(const Scenario& scenario, Scheme scheme,
       // Spider's senders compute k shortest paths over the raw topology.
       rc.protocol.path_type = graph::PathType::kEdgeDisjointShortest;
       SpiderRouter router(rc);
-      Engine engine(scenario.raw, scenario.payments, router, config.engine);
+      Engine engine(scenario.raw, scenario.make_source(), router,
+                    config.engine);
       return engine.run();
     }
     case Scheme::kFlash: {
       config.engine.queues_enabled = false;
       FlashRouter router;
-      Engine engine(scenario.raw, scenario.payments, router, config.engine);
+      Engine engine(scenario.raw, scenario.make_source(), router,
+                    config.engine);
       return engine.run();
     }
     case Scheme::kLandmark: {
       config.engine.queues_enabled = false;
       LandmarkRouter router;
-      Engine engine(scenario.raw, scenario.payments, router, config.engine);
+      Engine engine(scenario.raw, scenario.make_source(), router,
+                    config.engine);
       return engine.run();
     }
     case Scheme::kA2l: {
@@ -118,14 +138,15 @@ EngineMetrics run_scheme(const Scenario& scenario, Scheme scheme,
       rc.hub = scenario.single_star.hubs.front();
       rc.epoch_s = config.protocol.tau_s;  // tumbler phase = update time
       A2lRouter router(rc);
-      Engine engine(scenario.single_star.network, scenario.payments, router,
-                    config.engine);
+      Engine engine(scenario.single_star.network, scenario.make_source(),
+                    router, config.engine);
       return engine.run();
     }
     case Scheme::kShortestPath: {
       config.engine.queues_enabled = false;
       ShortestPathRouter router;
-      Engine engine(scenario.raw, scenario.payments, router, config.engine);
+      Engine engine(scenario.raw, scenario.make_source(), router,
+                    config.engine);
       return engine.run();
     }
   }

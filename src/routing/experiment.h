@@ -6,9 +6,11 @@
 // (the paper's Figs. 7/8 compare the five schemes on the same workloads).
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "pcn/network.h"
+#include "pcn/traffic_source.h"
 #include "pcn/workload.h"
 #include "placement/topology_transform.h"
 #include "routing/engine.h"
@@ -60,8 +62,19 @@ struct Scenario {
   placement::TransformResult single_star;    // A2L substrate
   placement::PlacementInstance instance;
   placement::PlacementPlan plan;
+  /// Materialised workload; empty when `workload.streaming` (every engine
+  /// run then pulls a fresh deterministic stream via make_source()).
   std::vector<pcn::Payment> payments;
   std::vector<pcn::NodeId> clients;
+  pcn::WorkloadConfig workload;
+  common::Rng workload_rng;  // RNG snapshot the workload derives from
+
+  /// Fresh per-run traffic source: a non-owning replay of `payments` when
+  /// materialised, otherwise a new stream off the stored RNG snapshot.
+  /// Every scheme run over one Scenario sees the identical payment
+  /// sequence (the paper's shared-workload comparison setup); the Scenario
+  /// must outlive the returned source.
+  [[nodiscard]] std::unique_ptr<pcn::TrafficSource> make_source() const;
 };
 
 [[nodiscard]] Scenario prepare_scenario(const ScenarioConfig& config);

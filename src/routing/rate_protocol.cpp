@@ -7,13 +7,12 @@ namespace splicer::routing {
 
 void RateRouterBase::on_start(Engine& engine) {
   prices_.assign(engine.network().channel_count(), ChannelPrices{});
-  horizon_end_ = 0.0;
-  for (const auto& p : engine.payments()) {
-    horizon_end_ = std::max(horizon_end_, p.deadline);
-  }
-  horizon_end_ += 0.5;
+  // workload_horizon() is queried per tick: for streaming sources it grows
+  // as payments are pulled, so price updates keep running until the tail
+  // payments' deadlines have passed (replay sources report it exactly from
+  // the start, matching the old materialised-vector scan).
   engine.scheduler().every(config_.tau_s, [this, &engine] {
-    if (engine.now() > horizon_end_) return false;
+    if (engine.now() > engine.workload_horizon() + 0.5) return false;
     update_prices(engine);
     probe_pairs(engine);
     on_tick(engine);
@@ -206,7 +205,7 @@ void RateRouterBase::schedule_drip(Engine& engine, const PairKey& pair,
   auto& state = pairs_.at(pair);
   auto& path = state.paths[path_index];
   if (path.drip_scheduled) return;
-  if (engine.now() > horizon_end_) return;
+  if (engine.now() > engine.workload_horizon() + 0.5) return;
   path.drip_scheduled = true;
   const double delay =
       std::max(0.0, path.earliest_send(config_.min_rate_tps) - engine.now());
@@ -220,7 +219,7 @@ void RateRouterBase::try_send(Engine& engine, const PairKey& pair,
                               std::size_t path_index) {
   auto& state = pairs_.at(pair);
   auto& path = state.paths[path_index];
-  if (engine.now() > horizon_end_) return;
+  if (engine.now() > engine.workload_horizon() + 0.5) return;
   if (engine.now() + 1e-12 < path.earliest_send(config_.min_rate_tps)) {
     schedule_drip(engine, pair, path_index);  // pacing not yet satisfied
     return;

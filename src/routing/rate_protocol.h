@@ -205,7 +205,6 @@ class RateRouterBase : public Router {
   std::vector<ChannelPrices> prices_;
   std::map<PairKey, PairState> pairs_;
   std::map<PaymentId, PairKey> pair_of_payment_;
-  double horizon_end_ = 0.0;
 };
 
 }  // namespace splicer::routing

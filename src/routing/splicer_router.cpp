@@ -19,13 +19,11 @@ SplicerRouter::SplicerRouter(std::vector<NodeId> hub_of, std::vector<NodeId> hub
 void SplicerRouter::on_start(Engine& engine) {
   RateRouterBase::on_start(engine);
   // Epoch synchronisation (Fig. 5 step 1): every hub exchanges the final
-  // global information of the last epoch with every other hub.
-  double horizon = 0.0;
-  for (const auto& p : engine.payments()) horizon = std::max(horizon, p.deadline);
-  const double horizon_end = horizon + 0.5;
+  // global information of the last epoch with every other hub. The horizon
+  // is queried per tick so streamed workloads keep extending it.
   const auto z = hubs_.size();
-  engine.scheduler().every(config_.epoch_s, [&engine, z, horizon_end] {
-    if (engine.now() > horizon_end) return false;
+  engine.scheduler().every(config_.epoch_s, [&engine, z] {
+    if (engine.now() > engine.workload_horizon() + 0.5) return false;
     engine.counters().sync_messages += z * (z - 1);
     return true;
   });

@@ -118,6 +118,46 @@ TEST(RunScheme, UpdateTimeSweepKeepsSplicerStable) {
   EXPECT_LT(a2l_slow.tsr(), a2l_fast.tsr());
 }
 
+TEST(Scenario, StreamingModeMatchesMaterialisedRuns) {
+  // streaming=true keeps Scenario::payments empty; every run re-derives
+  // the identical stream from the stored RNG snapshot, so payment-level
+  // outcomes are exactly those of the materialised path.
+  auto config = small_config(31);
+  auto streaming_config = config;
+  streaming_config.workload.streaming = true;
+
+  const auto materialised = prepare_scenario(config);
+  const auto streaming = prepare_scenario(streaming_config);
+  EXPECT_EQ(materialised.payments.size(), 400u);
+  EXPECT_TRUE(streaming.payments.empty());
+
+  for (const auto scheme : {Scheme::kSplicer, Scheme::kShortestPath}) {
+    const auto a = run_scheme(materialised, scheme);
+    const auto b = run_scheme(streaming, scheme);
+    EXPECT_EQ(a.payments_generated, b.payments_generated) << to_string(scheme);
+    EXPECT_EQ(a.payments_completed, b.payments_completed) << to_string(scheme);
+    EXPECT_EQ(a.payments_failed, b.payments_failed) << to_string(scheme);
+    EXPECT_EQ(a.value_completed, b.value_completed) << to_string(scheme);
+    EXPECT_DOUBLE_EQ(a.total_completion_delay_s, b.total_completion_delay_s)
+        << to_string(scheme);
+  }
+}
+
+TEST(Scenario, AlternativeWorkloadKindsRunEndToEnd) {
+  for (const auto kind : {pcn::WorkloadKind::kBursty,
+                          pcn::WorkloadKind::kHotspot}) {
+    auto config = small_config(32);
+    config.workload.kind = kind;
+    config.workload.payment_count = 200;
+    const auto scenario = prepare_scenario(config);
+    EXPECT_EQ(scenario.payments.size(), 200u) << pcn::to_string(kind);
+    const auto m = run_scheme(scenario, Scheme::kSplicer);
+    EXPECT_EQ(m.payments_generated, 200u) << pcn::to_string(kind);
+    EXPECT_EQ(m.payments_completed + m.payments_failed, 200u)
+        << pcn::to_string(kind);
+  }
+}
+
 TEST(SchemeNames, Strings) {
   EXPECT_STREQ(to_string(Scheme::kSplicer), "Splicer");
   EXPECT_STREQ(to_string(Scheme::kSpider), "Spider");

@@ -1,0 +1,93 @@
+// The streaming-scale contract (ISSUE 3 acceptance): a 10^6-payment run
+// completes without ever materialising the workload — the engine pulls one
+// payment at a time, and EngineMetrics::peak_payment_buffer proves the
+// arrival pipeline stayed at the concurrency level, not the total size.
+
+#include <gtest/gtest.h>
+
+#include "graph/graph.h"
+#include "pcn/network.h"
+#include "pcn/traffic_source.h"
+#include "routing/engine.h"
+
+namespace splicer::routing {
+namespace {
+
+/// Cheapest possible policy: reject every payment on arrival. The engine
+/// still runs the full arrival + deadline event machinery per payment.
+class RejectingRouter : public Router {
+ public:
+  [[nodiscard]] std::string name() const override { return "rejecting"; }
+  void on_payment(Engine& engine, const pcn::Payment& payment) override {
+    engine.fail_payment(payment.id, FailReason::kNoPath);
+  }
+};
+
+/// Forwards every payment over the single channel 0 -> 1.
+class ForwardingRouter : public Router {
+ public:
+  [[nodiscard]] std::string name() const override { return "forwarding"; }
+  void on_payment(Engine& engine, const pcn::Payment& payment) override {
+    TransactionUnit tu;
+    tu.payment = payment.id;
+    tu.value = payment.value;
+    tu.deadline = payment.deadline;
+    tu.path.nodes = {payment.sender, payment.receiver};
+    tu.path.edges = {0};
+    tu.hop_amounts = {payment.value};
+    engine.send_tu(std::move(tu));
+  }
+};
+
+pcn::Network pair_network(common::Amount per_side) {
+  graph::Graph g(2);
+  g.add_edge(0, 1);
+  return pcn::Network::with_uniform_funds(std::move(g), per_side);
+}
+
+TEST(StreamingScale, MillionPaymentRunNeverMaterialisesTheWorkload) {
+  pcn::WorkloadConfig config;
+  config.payment_count = 1'000'000;
+  config.horizon_seconds = 10'000.0;
+  config.streaming = true;
+
+  auto source = std::make_unique<pcn::SyntheticSource>(
+      std::vector<pcn::NodeId>{0, 1}, config, common::Rng(123));
+
+  RejectingRouter router;
+  Engine engine(pair_network(common::whole_tokens(100)), std::move(source),
+                router, {});
+  const auto metrics = engine.run();
+
+  EXPECT_EQ(metrics.payments_generated, 1'000'000u);
+  EXPECT_EQ(metrics.payments_failed, 1'000'000u);
+  // Every payment resolves inside its own arrival event, so the pipeline
+  // never holds more than the one look-ahead pull plus the arriving
+  // payment.
+  EXPECT_LE(metrics.peak_payment_buffer, 2u);
+}
+
+TEST(StreamingScale, BusyStreamingRunKeepsTheBufferAtConcurrencyLevel) {
+  pcn::WorkloadConfig config;
+  config.payment_count = 50'000;
+  config.horizon_seconds = 500.0;
+  config.streaming = true;
+
+  auto source = std::make_unique<pcn::SyntheticSource>(
+      std::vector<pcn::NodeId>{0, 1}, config, common::Rng(9));
+
+  ForwardingRouter router;
+  Engine engine(pair_network(common::whole_tokens(500'000)),
+                std::move(source), router, {});
+  const auto metrics = engine.run();
+
+  EXPECT_EQ(metrics.payments_generated, 50'000u);
+  EXPECT_GT(metrics.payments_completed, 0u);
+  // ~100 arrivals/s against a ~3.5 s payment lifetime: the resident window
+  // is a few hundred payments, never the 50k workload.
+  EXPECT_GT(metrics.peak_payment_buffer, 1u);
+  EXPECT_LT(metrics.peak_payment_buffer, 5'000u);
+}
+
+}  // namespace
+}  // namespace splicer::routing

@@ -137,5 +137,99 @@ TEST(Workload, RequiresTwoClients) {
   EXPECT_THROW((void)generate_payments({1}, config, rng), std::invalid_argument);
 }
 
+TEST(WorkloadConfig, ValidateRejectsBadKnobs) {
+  const auto expect_invalid = [](WorkloadConfig config) {
+    EXPECT_THROW(config.validate(), std::invalid_argument);
+  };
+  WorkloadConfig ok;
+  EXPECT_NO_THROW(ok.validate());
+
+  WorkloadConfig config;
+  config.payment_count = 0;
+  expect_invalid(config);
+
+  config = WorkloadConfig{};
+  config.horizon_seconds = 0.0;
+  expect_invalid(config);
+  config.horizon_seconds = -2.0;
+  expect_invalid(config);
+
+  config = WorkloadConfig{};
+  config.timeout_seconds = 0.0;
+  expect_invalid(config);
+
+  config = WorkloadConfig{};
+  config.sink_fraction = -0.1;
+  expect_invalid(config);
+  config.sink_fraction = 1.1;
+  expect_invalid(config);
+
+  config = WorkloadConfig{};
+  config.value_scale = 0.0;
+  expect_invalid(config);
+
+  config = WorkloadConfig{};
+  config.kind = WorkloadKind::kTrace;  // no trace_file
+  expect_invalid(config);
+
+  config = WorkloadConfig{};
+  config.kind = WorkloadKind::kBursty;
+  config.burst_amplitude = 1.5;
+  expect_invalid(config);
+
+  config = WorkloadConfig{};
+  config.kind = WorkloadKind::kHotspot;
+  config.hotspot_shift_interval_s = 0.0;
+  expect_invalid(config);
+}
+
+TEST(WorkloadConfig, GenerationPathsRejectInvalidConfigs) {
+  common::Rng rng(12);
+  WorkloadConfig config;
+  config.payment_count = 0;
+  std::vector<NodeId> clients{0, 1, 2};
+  EXPECT_THROW((void)generate_payments(clients, config, rng),
+               std::invalid_argument);
+}
+
+TEST(WorkloadKindNames, RoundTrip) {
+  for (const auto kind : {WorkloadKind::kSynthetic, WorkloadKind::kTrace,
+                          WorkloadKind::kBursty, WorkloadKind::kHotspot}) {
+    EXPECT_EQ(workload_kind_from(to_string(kind)), kind);
+  }
+  EXPECT_THROW((void)workload_kind_from("poisson"), std::invalid_argument);
+}
+
+TEST(NetFlow, EmptyPaymentsGiveZeroFlows) {
+  const auto net = net_flow_by_node(4, {});
+  ASSERT_EQ(net.size(), 4u);
+  for (const Amount v : net) EXPECT_EQ(v, 0);
+}
+
+TEST(NetFlow, KnownPaymentsGiveExactPerNodeFlows) {
+  std::vector<Payment> payments(3);
+  payments[0].sender = 0;
+  payments[0].receiver = 1;
+  payments[0].value = common::whole_tokens(5);
+  payments[1].sender = 1;
+  payments[1].receiver = 2;
+  payments[1].value = common::whole_tokens(2);
+  payments[2].sender = 0;
+  payments[2].receiver = 2;
+  payments[2].value = common::whole_tokens(1);
+  const auto net = net_flow_by_node(3, payments);
+  EXPECT_EQ(net[0], common::whole_tokens(-6));
+  EXPECT_EQ(net[1], common::whole_tokens(3));
+  EXPECT_EQ(net[2], common::whole_tokens(3));
+}
+
+TEST(NetFlow, OutOfRangeNodeThrows) {
+  std::vector<Payment> payments(1);
+  payments[0].sender = 0;
+  payments[0].receiver = 9;
+  payments[0].value = common::whole_tokens(1);
+  EXPECT_THROW((void)net_flow_by_node(3, payments), std::out_of_range);
+}
+
 }  // namespace
 }  // namespace splicer::pcn

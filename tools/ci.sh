@@ -5,11 +5,16 @@
 #
 # After the unit suites, the fig7 bench runs in its smoke configuration
 # three times to pin the batched-settlement contract:
-#   1. --threads 1, epoch 0   -> the sequential baseline CSVs
+#   1. --threads 1, epoch 0   -> the sequential baseline CSVs, which must
+#      also be byte-identical to the frozen pre-refactor baseline in
+#      tests/data/fig7_baseline (pins SyntheticSource + streaming engine)
 #   2. default threads, epoch 0 -> must be byte-identical to the baseline
 #      (parallel runner AND the epoch-0 engine path change nothing)
 #   3. epoch 10 ms            -> batched mode completes with the engine's
 #      funds-conservation check intact
+#
+# Finally the workload subsystem smokes: a trace replay of the checked-in
+# example trace through splicer_cli, plus streaming bursty/hotspot runs.
 #
 # Usage: tools/ci.sh [build-dir]   (default: build-ci)
 set -euo pipefail
@@ -32,6 +37,9 @@ echo "CI: fig7 smoke, sequential epoch-0 baseline"
 SPLICER_BENCH_FAST=1 SPLICER_BENCH_CSV="$SMOKE_DIR/baseline" \
   "$BUILD_DIR/bench_fig7_small_scale" --threads 1 > "$SMOKE_DIR/baseline.txt"
 
+echo "CI: fig7 smoke vs frozen pre-refactor baseline (workload subsystem)"
+diff -r tests/data/fig7_baseline "$SMOKE_DIR/baseline"
+
 echo "CI: fig7 smoke, parallel epoch-0 (must match baseline byte-for-byte)"
 SPLICER_BENCH_FAST=1 SPLICER_BENCH_CSV="$SMOKE_DIR/epoch0" \
   "$BUILD_DIR/bench_fig7_small_scale" --settlement-epoch 0 > "$SMOKE_DIR/epoch0.txt"
@@ -40,5 +48,16 @@ diff -r "$SMOKE_DIR/baseline" "$SMOKE_DIR/epoch0"
 echo "CI: fig7 smoke, batched settlement (epoch 10 ms)"
 SPLICER_BENCH_FAST=1 \
   "$BUILD_DIR/bench_fig7_small_scale" --settlement-epoch 10 > "$SMOKE_DIR/epoch10.txt"
+
+echo "CI: trace replay smoke (splicer_cli --workload trace)"
+"$BUILD_DIR/splicer_cli" compare --nodes 60 --workload trace \
+  --trace-file examples/traces/sample_trace.csv > "$SMOKE_DIR/trace.txt"
+grep -q "workload trace" "$SMOKE_DIR/trace.txt"
+
+echo "CI: streaming bursty + hotspot smokes"
+"$BUILD_DIR/splicer_cli" compare --nodes 60 --payments 300 \
+  --workload bursty --streaming > "$SMOKE_DIR/bursty.txt"
+"$BUILD_DIR/splicer_cli" compare --nodes 60 --payments 300 \
+  --workload hotspot --trials 2 > "$SMOKE_DIR/hotspot.txt"
 
 echo "CI: all green"

@@ -3,11 +3,18 @@
 //   splicer_cli compare  [--nodes N] [--payments N] [--seed S] [--tau MS]
 //                        [--fund-scale X] [--value-scale X] [--scale-free]
 //                        [--threads N] [--trials K] [--settlement-epoch MS]
+//                        [--workload synthetic|trace|bursty|hotspot]
+//                        [--trace-file CSV] [--streaming]
+//                        [--burst-period S] [--burst-amplitude A]
+//                        [--shift-interval S]
 //       run all six schemes on one shared scenario and print the comparison;
 //       simulations fan out over N worker threads (0 = all hardware
 //       threads) and, with K > 1, repeat over K derived-seed workloads and
-//       report mean +/- stddev. --settlement-epoch > 0 batches engine
-//       settlements per (channel, direction) per epoch (0 = exact per-hop)
+//       report mean +/- 95% CI. --settlement-epoch > 0 batches engine
+//       settlements per (channel, direction) per epoch (0 = exact per-hop).
+//       --workload picks the traffic source (trace replays a
+//       time,sender,receiver,amount CSV); --streaming makes every engine
+//       run pull payments lazily instead of materialising the workload
 //
 //   splicer_cli place    [--nodes N] [--candidates N] [--omega W] [--seed S]
 //                        [--solver exhaustive|approx|milp|descent]
@@ -89,6 +96,13 @@ routing::ScenarioConfig scenario_from(const Args& args) {
   config.workload.payment_count = args.u64("payments", 1500);
   config.workload.horizon_seconds = args.real("horizon", 25.0);
   config.workload.value_scale = args.real("value-scale", 1.0);
+  config.workload.kind = pcn::workload_kind_from(args.str("workload", "synthetic"));
+  config.workload.trace_file = args.str("trace-file", "");
+  config.workload.streaming = args.flag("streaming");
+  config.workload.burst_period_s = args.real("burst-period", 10.0);
+  config.workload.burst_amplitude = args.real("burst-amplitude", 0.8);
+  config.workload.hotspot_shift_interval_s = args.real("shift-interval", 8.0);
+  config.workload.validate();
   return config;
 }
 
@@ -97,8 +111,14 @@ int cmd_compare(const Args& args) {
   const std::size_t threads = args.u64("threads", 0);
   const std::size_t trials = std::max<std::uint64_t>(1, args.u64("trials", 1));
 
-  std::cout << "preparing scenario: " << config.topology.nodes << " nodes, "
-            << config.workload.payment_count << " payments, seed "
+  std::cout << "preparing scenario: " << config.topology.nodes << " nodes, ";
+  if (config.workload.kind == pcn::WorkloadKind::kTrace) {
+    std::cout << "trace " << config.workload.trace_file;
+  } else {
+    std::cout << config.workload.payment_count << " payments";
+  }
+  std::cout << ", workload " << pcn::to_string(config.workload.kind)
+            << (config.workload.streaming ? " (streaming)" : "") << ", seed "
             << config.seed;
   if (trials > 1) std::cout << ", " << trials << " trials";
   std::cout << "\n";
@@ -135,7 +155,7 @@ int cmd_compare(const Args& args) {
 
   if (trials == 1) {
     common::Table table({"scheme", "TSR", "throughput", "avg delay (ms)",
-                         "TUs sent", "TUs marked", "messages"});
+                         "TUs sent", "TUs marked", "messages", "peak buf"});
     for (std::size_t t = 0; t < tasks.size(); ++t) {
       const auto& m = results[t].first();
       const auto row = table.add_row();
@@ -146,14 +166,16 @@ int cmd_compare(const Args& args) {
       table.set(row, 4, static_cast<std::int64_t>(m.tus_sent));
       table.set(row, 5, static_cast<std::int64_t>(m.tus_marked));
       table.set(row, 6, static_cast<std::int64_t>(m.messages.total()));
+      table.set(row, 7, static_cast<std::int64_t>(m.peak_payment_buffer));
     }
     std::cout << table.render();
     return 0;
   }
 
+  // Mean +/- the 95% confidence half-width over the derived-seed trials.
   const auto pm = [](const common::RunningStats& s, int precision) {
     return common::format_double(s.mean(), precision) + " +/- " +
-           common::format_double(s.stddev(), precision);
+           common::format_double(common::ci95_half_width(s), precision);
   };
   common::Table table({"scheme", "TSR (%)", "throughput (%)",
                        "avg delay (ms)", "messages"});
