@@ -6,11 +6,15 @@
 // sweep point, so the event-count reduction and speedup are measured on
 // exactly the workload the acceptance figures use.
 //
-// Usage: bench_settlement_batching [--threads N]
+// Usage: bench_settlement_batching [--threads N] [--no-retain]
 //   (the sweep itself runs each configuration single-threaded so the
 //    wall-clock column is comparable; --threads is accepted for interface
 //    parity with the other benches and ignored)
+//   --no-retain evicts resolved payment states: same table numbers, but
+//   the "peak resident" column drops from the payment count to the
+//   concurrency level (the retention contract's memory signal)
 
+#include <algorithm>
 #include <chrono>
 #include <iostream>
 #include <vector>
@@ -24,13 +28,16 @@ int main(int argc, char** argv) {
   std::cout << "=== Batched settlement: Fig. 7 workload, epoch sweep ===\n"
             << (bench::fast_mode() ? "(fast mode: quarter workload)\n" : "");
 
+  const bool retain = bench::retain_resolved(argc, argv);
+  if (!retain) std::cout << "(retention off: resolved states evicted)\n";
+
   const auto scenario = routing::prepare_scenario(bench::small_scale_config());
   const auto schemes = routing::comparison_schemes();
   const std::vector<double> epochs_ms{0.0, 5.0, 10.0, 25.0, 50.0};
 
   common::Table table({"epoch (ms)", "events", "vs epoch 0", "flushes",
                        "coalesced ops", "wall (ms)", "speedup",
-                       "Splicer TSR", "Splicer thr"});
+                       "Splicer TSR", "Splicer thr", "peak resident"});
   std::uint64_t baseline_events = 0;
   double baseline_wall_ms = 0.0;
   std::uint64_t default_epoch_events = 0;
@@ -38,8 +45,10 @@ int main(int argc, char** argv) {
   for (const double epoch_ms : epochs_ms) {
     routing::SchemeConfig config;
     config.engine.settlement_epoch_s = epoch_ms / 1000.0;
+    config.engine.retain_resolved = retain;
 
     std::uint64_t events = 0, flushes = 0, coalesced = 0;
+    std::size_t peak_resident = 0;
     double splicer_tsr = 0.0, splicer_thr = 0.0;
     const auto start = std::chrono::steady_clock::now();
     for (const auto scheme : schemes) {
@@ -47,6 +56,7 @@ int main(int argc, char** argv) {
       events += m.scheduler_events;
       flushes += m.settlement_flushes;
       coalesced += m.settlements_batched;
+      peak_resident = std::max(peak_resident, m.peak_resident_states);
       if (scheme == routing::Scheme::kSplicer) {
         splicer_tsr = m.tsr();
         splicer_thr = m.normalized_throughput();
@@ -78,6 +88,7 @@ int main(int argc, char** argv) {
     table.set(row, 6, common::format_double(baseline_wall_ms / wall_ms, 2) + "x");
     table.set(row, 7, common::format_percent(splicer_tsr));
     table.set(row, 8, common::format_percent(splicer_thr));
+    table.set(row, 9, static_cast<std::int64_t>(peak_resident));
   }
 
   bench::emit("batched settlement vs per-hop settlement (Fig. 7 workload)",

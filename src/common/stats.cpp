@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <iterator>
 #include <sstream>
 #include <stdexcept>
 
@@ -42,16 +43,42 @@ void RunningStats::merge(const RunningStats& other) noexcept {
   max_ = std::max(max_, other.max_);
 }
 
-double ci95_half_width(const RunningStats& stats) noexcept {
-  if (stats.count() < 2) return 0.0;
+double student_t95(std::size_t df) noexcept {
+  if (df == 0) return 0.0;
   // Two-sided 95% Student t quantiles for df = 1..30.
   static constexpr double kT95[30] = {
       12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228,
       2.201,  2.179, 2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086,
       2.080,  2.074, 2.069, 2.064, 2.060, 2.056, 2.052, 2.048, 2.045, 2.042};
-  const std::size_t df = stats.count() - 1;
-  const double t = df <= 30 ? kT95[df - 1] : 1.96;
-  return t * stats.stddev() / std::sqrt(static_cast<double>(stats.count()));
+  if (df <= 30) return kT95[df - 1];
+  // Beyond the table: interpolate linearly in 1/df through the standard
+  // df = 40, 60, 120, infinity anchors (the quantile is near-linear in
+  // 1/df, the classic textbook interpolation rule). Continuous at df 30.
+  struct Anchor {
+    double inv_df;
+    double t;
+  };
+  static constexpr Anchor kTail[] = {{1.0 / 30.0, 2.042},
+                                     {1.0 / 40.0, 2.021},
+                                     {1.0 / 60.0, 2.000},
+                                     {1.0 / 120.0, 1.980},
+                                     {0.0, 1.960}};
+  const double x = 1.0 / static_cast<double>(df);
+  for (std::size_t i = 1; i < std::size(kTail); ++i) {
+    if (x >= kTail[i].inv_df) {
+      const Anchor hi = kTail[i - 1];
+      const Anchor lo = kTail[i];
+      const double frac = (x - lo.inv_df) / (hi.inv_df - lo.inv_df);
+      return lo.t + frac * (hi.t - lo.t);
+    }
+  }
+  return 1.960;
+}
+
+double ci95_half_width(const RunningStats& stats) noexcept {
+  if (stats.count() < 2) return 0.0;
+  return student_t95(stats.count() - 1) * stats.stddev() /
+         std::sqrt(static_cast<double>(stats.count()));
 }
 
 double percentile(std::vector<double> values, double q) {

@@ -37,9 +37,15 @@ class RunningStats {
   double max_ = -std::numeric_limits<double>::infinity();
 };
 
+/// Two-sided 95% Student t quantile for `df` degrees of freedom: the exact
+/// table entry for df <= 30, then linear interpolation in 1/df through the
+/// df = 40, 60, 120 and infinity (1.960) anchors — no 2.042 -> 1.96 jump
+/// between df 30 and 31. 0 for df == 0.
+[[nodiscard]] double student_t95(std::size_t df) noexcept;
+
 /// Half-width of the 95% confidence interval of the mean: t * s / sqrt(n)
-/// with the two-sided Student t quantile for n - 1 degrees of freedom
-/// (1.96 beyond df 30). 0 for fewer than two samples.
+/// with the two-sided Student t quantile (student_t95) for n - 1 degrees
+/// of freedom. 0 for fewer than two samples.
 [[nodiscard]] double ci95_half_width(const RunningStats& stats) noexcept;
 
 /// Percentile of a sample (linear interpolation between closest ranks).

@@ -46,7 +46,10 @@ void A2lRouter::on_payment(Engine& engine, const pcn::Payment& payment) {
 
   engine.scheduler().after(hub_busy_until_ - engine.now(),
                            [this, &engine, payment, path] {
-    if (!engine.payment_state(payment.id).active()) return;
+    // Checked lookup: the crypto-phase delay can outlive the payment, whose
+    // resolved state may already be evicted (streaming retention contract).
+    const auto* state = engine.find_payment_state(payment.id);
+    if (state == nullptr || !state->active()) return;
     TransactionUnit tu;
     tu.payment = payment.id;
     tu.value = payment.value;

@@ -100,10 +100,14 @@ void Engine::on_arrival(const pcn::Payment& payment) {
   if (!inserted) throw std::logic_error("Engine: duplicate payment id");
   ++active_payments_;
   note_buffer_peak();
+  if (states_.size() > metrics_.peak_resident_states) {
+    metrics_.peak_resident_states = states_.size();
+  }
   ++metrics_.payments_generated;
   metrics_.value_generated += payment.value;
   // payreq over the secure channel + KMG key issuance.
   metrics_.messages.control_messages += 2;
+  it->second.deadline_pending = true;
   const auto deadline_event = scheduler_.at(
       payment.deadline, [this, id = payment.id] { on_payment_deadline(id); });
   if (config_.settlement_epoch_s > 0) {
@@ -125,6 +129,38 @@ void Engine::cancel_deadline_event(PaymentId id) {
   if (it == deadline_events_.end()) return;
   scheduler_.cancel(it->second);
   deadline_events_.erase(it);
+  if (auto* state = find_payment_state(id)) state->deadline_pending = false;
+}
+
+void Engine::fold_resolution(const PaymentState& state) {
+  metrics_.tus_per_payment_stats.add(static_cast<double>(state.tus_launched));
+  if (state.completed) {
+    metrics_.completion_delay_stats.add(state.completion_time -
+                                        state.payment.arrival_time);
+  } else {
+    metrics_.failed_delivered_value += state.delivered;
+  }
+}
+
+void Engine::release_live_tu(TuId id) {
+  const auto it = live_.find(id);
+  if (it == live_.end()) return;
+  const PaymentId payment = it->second.tu.payment;
+  live_.erase(it);
+  if (auto* state = state_or_orphan(payment)) {
+    if (state->live_tus > 0) --state->live_tus;
+    maybe_evict(payment);
+  }
+}
+
+void Engine::maybe_evict(PaymentId id) {
+  if (config_.retain_resolved) return;
+  const auto it = states_.find(id);
+  if (it == states_.end()) return;
+  const PaymentState& state = it->second;
+  if (state.active() || state.live_tus > 0 || state.deadline_pending) return;
+  states_.erase(it);
+  ++metrics_.states_evicted;
 }
 
 TuId Engine::send_tu(TransactionUnit tu) {
@@ -137,8 +173,17 @@ TuId Engine::send_tu(TransactionUnit tu) {
   tu.created_at = scheduler_.now();
   const TuId id = tu.id;
 
-  auto& state = payment_state(tu.payment);
-  state.in_flight += tu.value;
+  // Orphan-tolerant: a router may keep dispatching splits of a payment
+  // that a sibling TU's synchronous failure just resolved — and, with
+  // retention off, evicted. The retained engine dispatches TUs for
+  // already-failed payments too, so the orphan TU must flow identically
+  // (its resolution skips the per-payment bookkeeping; everything else is
+  // the same). With retention on a miss still throws.
+  if (auto* state = state_or_orphan(tu.payment)) {
+    state->in_flight += tu.value;
+    ++state->live_tus;
+    ++state->tus_launched;
+  }
 
   LiveTu live;
   live.hop_locked.assign(tu.path.edges.size(), 0);
@@ -155,15 +200,28 @@ PaymentState& Engine::payment_state(PaymentId id) {
   return it->second;
 }
 
+PaymentState* Engine::state_or_orphan(PaymentId id) {
+  auto* state = find_payment_state(id);
+  if (state == nullptr && config_.retain_resolved) {
+    // Retention on: nothing is ever evicted, so a miss can only be a router
+    // handing the engine a bogus payment id — keep the historical throw
+    // instead of silently moving funds with no bookkeeping.
+    throw std::out_of_range("Engine: unknown payment");
+  }
+  return state;
+}
+
 void Engine::fail_payment(PaymentId id, FailReason reason) {
-  auto& state = payment_state(id);
-  if (!state.active()) return;
+  auto* state = state_or_orphan(id);
+  if (state == nullptr || !state->active()) return;  // resolved and evicted
   cancel_deadline_event(id);
-  state.failed = true;
+  state->failed = true;
   --active_payments_;
   ++metrics_.payments_failed;
   ++metrics_.payment_fail_reasons[static_cast<std::size_t>(reason)];
+  fold_resolution(*state);
   router_.on_payment_timeout(*this, id);
+  maybe_evict(id);
 }
 
 Amount Engine::queue_amount(ChannelId channel, pcn::Direction d) const {
@@ -254,27 +312,31 @@ void Engine::deliver(TuId id) {
   auto& live = it->second;
   ++metrics_.tus_delivered;
 
-  auto& state = payment_state(live.tu.payment);
-  state.in_flight -= live.tu.value;
-  state.delivered += live.tu.value;
-  if (!state.failed && !state.completed && state.delivered >= state.payment.value) {
-    cancel_deadline_event(state.payment.id);
-    state.completed = true;
-    --active_payments_;
-    state.completion_time = scheduler_.now();
-    ++metrics_.payments_completed;
-    metrics_.value_completed += state.payment.value;
-    metrics_.total_completion_delay_s +=
-        scheduler_.now() - state.payment.arrival_time;
-    // Receipt ACK_tid forwarded back to the sender.
-    metrics_.messages.control_messages += 1;
+  // Orphan-tolerant: a TU of a payment resolved and evicted before it was
+  // sent settles its hops like any other; only the per-payment bookkeeping
+  // is gone.
+  if (auto* state = state_or_orphan(live.tu.payment)) {
+    state->in_flight -= live.tu.value;
+    state->delivered += live.tu.value;
+    if (!state->failed && !state->completed &&
+        state->delivered >= state->payment.value) {
+      cancel_deadline_event(state->payment.id);
+      state->completed = true;
+      --active_payments_;
+      state->completion_time = scheduler_.now();
+      ++metrics_.payments_completed;
+      metrics_.value_completed += state->payment.value;
+      fold_resolution(*state);
+      // Receipt ACK_tid forwarded back to the sender.
+      metrics_.messages.control_messages += 1;
+    }
   }
   settle_backwards(id);
   const TransactionUnit tu_copy = live.tu;
   router_.on_tu_delivered(*this, tu_copy);
   // Batched mode settles from the epoch buffer, so nothing references the
-  // live entry anymore; per-hop mode erases it after the last ack event.
-  if (config_.settlement_epoch_s > 0) live_.erase(id);
+  // live entry anymore; per-hop mode releases it after the last ack event.
+  if (config_.settlement_epoch_s > 0) release_live_tu(id);
 }
 
 void Engine::settle_backwards(TuId id) {
@@ -307,21 +369,23 @@ void Engine::settle_backwards(TuId id) {
     });
     delay += config_.hop_delay_s;
   }
-  scheduler_.after(delay, [this, id] { live_.erase(id); });
+  scheduler_.after(delay, [this, id] { release_live_tu(id); });
 }
 
 void Engine::fail_tu(TuId id, FailReason reason) {
   const auto it = live_.find(id);
   if (it == live_.end()) return;
-  auto& state = payment_state(it->second.tu.payment);
-  state.in_flight -= it->second.tu.value;
+  // Orphan TUs (see send_tu) have no payment state to update.
+  if (auto* state = state_or_orphan(it->second.tu.payment)) {
+    state->in_flight -= it->second.tu.value;
+  }
   ++metrics_.tus_failed;
   ++metrics_.tu_fail_reasons[static_cast<std::size_t>(reason)];
   if (reason == FailReason::kMarkedCongested) ++metrics_.tus_marked;
   const TransactionUnit tu_copy = it->second.tu;
   refund_backwards(id, reason);
   router_.on_tu_failed(*this, tu_copy, reason);
-  if (config_.settlement_epoch_s > 0) live_.erase(id);
+  if (config_.settlement_epoch_s > 0) release_live_tu(id);
 }
 
 void Engine::refund_backwards(TuId id, FailReason reason) {
@@ -350,7 +414,7 @@ void Engine::refund_backwards(TuId id, FailReason reason) {
     });
     delay += config_.hop_delay_s;
   }
-  scheduler_.after(delay, [this, id] { live_.erase(id); });
+  scheduler_.after(delay, [this, id] { release_live_tu(id); });
 }
 
 void Engine::enqueue(TuId id, ChannelId channel, pcn::Direction d) {
@@ -583,13 +647,22 @@ void Engine::on_payment_deadline(PaymentId id) {
   const auto it = states_.find(id);
   if (it == states_.end()) return;  // payment never arrived (should not happen)
   auto& state = it->second;
-  if (!state.active()) return;
+  state.deadline_pending = false;
+  if (!state.active()) {
+    // Per-hop mode resolves payments without cancelling the deadline event
+    // (the epoch-0 event stream must stay untouched); its no-op firing is
+    // the last reference, so the state can finally go.
+    maybe_evict(id);
+    return;
+  }
   state.failed = true;
   --active_payments_;
   ++metrics_.payments_failed;
   ++metrics_.payment_fail_reasons[static_cast<std::size_t>(FailReason::kTimeout)];
   ++metrics_.messages.control_messages;  // withdraw notice
+  fold_resolution(state);
   router_.on_payment_timeout(*this, id);
+  maybe_evict(id);
 }
 
 }  // namespace splicer::routing

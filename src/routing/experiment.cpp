@@ -75,17 +75,24 @@ Scenario prepare_scenario(const ScenarioConfig& config) {
   // vector below, so streaming toggles nothing but memory).
   const common::Rng workload_rng = rng;
   std::vector<pcn::Payment> payments;
+  std::size_t trace_rows_skipped = 0;
   if (!config.workload.streaming) {
     const auto source =
         pcn::make_traffic_source(clients, config.workload, workload_rng);
     payments = pcn::drain(*source);
+    // Trace replays drop malformed/unmappable rows while draining; keep the
+    // count so front ends can warn instead of silently shrinking the
+    // workload.
+    if (const auto* trace = dynamic_cast<const pcn::TraceSource*>(source.get())) {
+      trace_rows_skipped = trace->rows_skipped();
+    }
   }
 
   return Scenario{std::move(raw),       std::move(multi_star),
                   std::move(single_star), std::move(instance),
                   std::move(plan),      std::move(payments),
                   std::move(clients),   config.workload,
-                  workload_rng};
+                  workload_rng,         trace_rows_skipped};
 }
 
 std::unique_ptr<pcn::TrafficSource> Scenario::make_source() const {

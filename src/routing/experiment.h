@@ -68,6 +68,12 @@ struct Scenario {
   std::vector<pcn::NodeId> clients;
   pcn::WorkloadConfig workload;
   common::Rng workload_rng;  // RNG snapshot the workload derives from
+  /// Trace rows dropped while materialising a (non-streaming) trace
+  /// workload: malformed lines, unmappable endpoints in strict mode,
+  /// single-client self-pays. 0 for every other workload kind; for
+  /// streaming trace replays query TraceSource::rows_skipped() on the
+  /// drained source instead (the CLI does).
+  std::size_t trace_rows_skipped = 0;
 
   /// Fresh per-run traffic source: a non-owning replay of `payments` when
   /// materialised, otherwise a new stream off the stored RNG snapshot.

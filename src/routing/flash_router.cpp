@@ -118,8 +118,11 @@ void FlashRouter::on_tu_failed(Engine& engine, const TransactionUnit& tu,
   if (progress.outstanding > 0) --progress.outstanding;
   progress.failed_value += tu.value;
 
-  auto& state = engine.payment_state(tu.payment);
-  if (!state.active()) return;
+  // Checked lookup: a sibling split's synchronous failure can resolve the
+  // payment — and, under the retention contract, evict its state — before
+  // this TU unwinds. Evicted == resolved == nothing left to retry.
+  const auto* state = engine.find_payment_state(tu.payment);
+  if (state == nullptr || !state->active()) return;
   if (progress.outstanding > 0) return;  // wait until all splits resolve
 
   if (progress.retries_left == 0) {
@@ -129,10 +132,13 @@ void FlashRouter::on_tu_failed(Engine& engine, const TransactionUnit& tu,
   --progress.retries_left;
   const Amount retry_value = progress.failed_value;
   progress.failed_value = 0;
+  // Copy: the retry's own splits can fail synchronously, resolve the
+  // payment and (retention off) evict the state this reference points into.
+  const pcn::Payment payment = state->payment;
   if (progress.elephant) {
-    send_elephant(engine, state.payment, retry_value, progress);
+    send_elephant(engine, payment, retry_value, progress);
   } else {
-    send_mice(engine, state.payment, retry_value, progress);
+    send_mice(engine, payment, retry_value, progress);
   }
 }
 

@@ -128,8 +128,11 @@ void LandmarkRouter::on_payment(Engine& engine, const pcn::Payment& payment) {
 void LandmarkRouter::on_tu_failed(Engine& engine, const TransactionUnit& tu,
                                   FailReason reason) {
   (void)reason;
-  auto& state = engine.payment_state(tu.payment);
-  if (!state.active()) return;
+  // Checked lookup: a sibling chunk's synchronous failure can resolve the
+  // payment — and, under the retention contract, evict its state — before
+  // this TU unwinds. Evicted == resolved == nothing left to retry.
+  const auto* state = engine.find_payment_state(tu.payment);
+  if (state == nullptr || !state->active()) return;
   auto& retries = retries_left_[tu.payment];
   if (retries == 0) {
     engine.fail_payment(tu.payment, FailReason::kInsufficientFunds);
@@ -140,8 +143,8 @@ void LandmarkRouter::on_tu_failed(Engine& engine, const TransactionUnit& tu,
   const std::size_t next_index =
       (tu.path_index + 1 + engine.rng().index(landmarks_.size() - 1)) %
       landmarks_.size();
-  auto p = via_landmark(engine, next_index, state.payment.sender,
-                        state.payment.receiver);
+  auto p = via_landmark(engine, next_index, state->payment.sender,
+                        state->payment.receiver);
   if (!p || p->edges.empty()) {
     engine.fail_payment(tu.payment, FailReason::kNoPath);
     return;

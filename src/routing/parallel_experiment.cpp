@@ -89,6 +89,7 @@ std::vector<std::vector<TaskResult>> ParallelRunner::run(
         cell.throughput.add(m.normalized_throughput());
         cell.delay_s.add(m.average_delay_s());
         cell.messages.add(static_cast<double>(m.messages.total()));
+        cell.peak_resident.add(static_cast<double>(m.peak_resident_states));
         cell.trials.push_back(std::move(m));
       }
     }
@@ -132,6 +133,7 @@ std::vector<std::vector<TaskResult>> ParallelRunner::run_prepared(
       cell.throughput.add(m.normalized_throughput());
       cell.delay_s.add(m.average_delay_s());
       cell.messages.add(static_cast<double>(m.messages.total()));
+      cell.peak_resident.add(static_cast<double>(m.peak_resident_states));
       cell.trials.push_back(std::move(m));
     }
   }

@@ -56,6 +56,9 @@ struct TaskResult {
   common::RunningStats throughput;
   common::RunningStats delay_s;
   common::RunningStats messages;
+  /// Peak resident PaymentStates per trial (the retention-contract memory
+  /// signal; equals the payment count unless eviction is enabled).
+  common::RunningStats peak_resident;
 
   /// Trial-0 metrics: bit-identical to the sequential single-run path.
   [[nodiscard]] const EngineMetrics& first() const { return trials.front(); }

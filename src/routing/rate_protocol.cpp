@@ -12,7 +12,7 @@ void RateRouterBase::on_start(Engine& engine) {
   // payments' deadlines have passed (replay sources report it exactly from
   // the start, matching the old materialised-vector scan).
   engine.scheduler().every(config_.tau_s, [this, &engine] {
-    if (engine.now() > engine.workload_horizon() + 0.5) return false;
+    if (engine.past_horizon()) return false;
     update_prices(engine);
     probe_pairs(engine);
     on_tick(engine);
@@ -32,7 +32,10 @@ void RateRouterBase::on_payment(Engine& engine, const pcn::Payment& payment) {
 }
 
 void RateRouterBase::admit_demand(Engine& engine, const pcn::Payment& payment) {
-  if (!engine.payment_state(payment.id).active()) return;  // already timed out
+  // Checked lookup: the decision delay can outlive the payment, and a
+  // resolved state may already be evicted (streaming retention contract).
+  const auto* state = engine.find_payment_state(payment.id);
+  if (state == nullptr || !state->active()) return;  // already timed out
   const PairKey pair = pair_of(engine, payment);
   PairState* ps = ensure_pair(engine, pair);
   if (ps == nullptr || ps->paths.empty()) {
@@ -205,7 +208,7 @@ void RateRouterBase::schedule_drip(Engine& engine, const PairKey& pair,
   auto& state = pairs_.at(pair);
   auto& path = state.paths[path_index];
   if (path.drip_scheduled) return;
-  if (engine.now() > engine.workload_horizon() + 0.5) return;
+  if (engine.past_horizon()) return;
   path.drip_scheduled = true;
   const double delay =
       std::max(0.0, path.earliest_send(config_.min_rate_tps) - engine.now());
@@ -219,7 +222,7 @@ void RateRouterBase::try_send(Engine& engine, const PairKey& pair,
                               std::size_t path_index) {
   auto& state = pairs_.at(pair);
   auto& path = state.paths[path_index];
-  if (engine.now() > engine.workload_horizon() + 0.5) return;
+  if (engine.past_horizon()) return;
   if (engine.now() + 1e-12 < path.earliest_send(config_.min_rate_tps)) {
     schedule_drip(engine, pair, path_index);  // pacing not yet satisfied
     return;
@@ -228,10 +231,15 @@ void RateRouterBase::try_send(Engine& engine, const PairKey& pair,
                               std::max(1.0, std::floor(path.window)))) {
     return;  // window-bound; re-armed on delivery/failure
   }
-  // Pop exhausted/inactive demands.
+  // Pop exhausted/inactive demands. Evicted states (resolved payments whose
+  // PaymentState is already gone under the retention contract) count as
+  // inactive, exactly like a still-resident resolved state.
+  const PaymentState* front_state = nullptr;
   while (!state.demands.empty()) {
     const auto& front = state.demands.front();
-    if (front.remaining <= 0 || !engine.payment_state(front.payment).active()) {
+    front_state = engine.find_payment_state(front.payment);
+    if (front.remaining <= 0 || front_state == nullptr ||
+        !front_state->active()) {
       state.demands.pop_front();
       continue;
     }
@@ -239,7 +247,7 @@ void RateRouterBase::try_send(Engine& engine, const PairKey& pair,
   }
   if (state.demands.empty()) return;
   auto& entry = state.demands.front();
-  const auto& payment_state = engine.payment_state(entry.payment);
+  const auto& payment_state = *front_state;
 
   // TU sizing: Min-TU <= |d_i| <= Max-TU, avoiding a sub-Min-TU crumb.
   Amount tu_value;
@@ -306,8 +314,9 @@ void RateRouterBase::on_tu_failed(Engine& engine, const TransactionUnit& tu,
                              config_.max_window);
   }
   // Unserved value is retried (front of the queue) while the deadline holds.
-  auto& payment_state = engine.payment_state(tu.payment);
-  if (payment_state.active() && engine.now() < payment_state.payment.deadline) {
+  const auto* payment_state = engine.find_payment_state(tu.payment);
+  if (payment_state != nullptr && payment_state->active() &&
+      engine.now() < payment_state->payment.deadline) {
     state.demands.push_front(DemandEntry{tu.payment, tu.value});
   }
   for (std::size_t i = 0; i < state.paths.size(); ++i) {

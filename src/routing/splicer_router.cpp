@@ -23,7 +23,7 @@ void SplicerRouter::on_start(Engine& engine) {
   // is queried per tick so streamed workloads keep extending it.
   const auto z = hubs_.size();
   engine.scheduler().every(config_.epoch_s, [&engine, z] {
-    if (engine.now() > engine.workload_horizon() + 0.5) return false;
+    if (engine.past_horizon()) return false;
     engine.counters().sync_messages += z * (z - 1);
     return true;
   });

@@ -331,5 +331,31 @@ TEST(Engine, MetricsCountsGeneratedAndValue) {
   EXPECT_DOUBLE_EQ(m.normalized_throughput(), 0.0);
 }
 
+TEST(Engine, UnknownPaymentIdStillThrowsWithRetentionOn) {
+  // The orphan-tolerant TU paths only apply under eviction; with
+  // retain_resolved (default) nothing is ever evicted, so a miss is a
+  // router bug and must keep the historical out_of_range throw.
+  ScriptedRouter router([](Engine& engine, const pcn::Payment& payment) {
+    EXPECT_THROW((void)engine.payment_state(payment.id + 999),
+                 std::out_of_range);
+    EXPECT_EQ(engine.find_payment_state(payment.id + 999), nullptr);
+    EXPECT_THROW(engine.fail_payment(payment.id + 999, FailReason::kNoPath),
+                 std::out_of_range);
+    TransactionUnit tu;
+    tu.payment = payment.id + 999;
+    tu.value = payment.value;
+    tu.path.nodes = {0, 1};
+    tu.path.edges = {0};
+    tu.hop_amounts = {payment.value};
+    EXPECT_THROW(engine.send_tu(std::move(tu)), std::out_of_range);
+    engine.fail_payment(payment.id, FailReason::kNoPath);
+  });
+  Engine engine(line_network(), {make_payment(1, 0, 2, whole_tokens(1))},
+                router, {});
+  const auto m = engine.run();
+  EXPECT_EQ(m.payments_failed, 1u);
+  EXPECT_EQ(m.states_evicted, 0u);
+}
+
 }  // namespace
 }  // namespace splicer::routing

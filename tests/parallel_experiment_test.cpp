@@ -26,7 +26,8 @@ void expect_identical(const EngineMetrics& a, const EngineMetrics& b) {
   EXPECT_EQ(a.payments_failed, b.payments_failed);
   EXPECT_EQ(a.value_generated, b.value_generated);
   EXPECT_EQ(a.value_completed, b.value_completed);
-  EXPECT_EQ(a.total_completion_delay_s, b.total_completion_delay_s);  // bit-exact
+  EXPECT_EQ(a.completion_delay_stats.sum(),
+            b.completion_delay_stats.sum());  // bit-exact
   EXPECT_EQ(a.tus_sent, b.tus_sent);
   EXPECT_EQ(a.tus_delivered, b.tus_delivered);
   EXPECT_EQ(a.tus_failed, b.tus_failed);

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "common/rng.h"
 
 namespace splicer::common {
@@ -123,6 +125,51 @@ TEST(Histogram, RenderMentionsCounts) {
   h.add(0.5);
   const std::string text = h.render();
   EXPECT_NE(text.find('#'), std::string::npos);
+}
+
+TEST(StudentT95, TableEntriesAreExact) {
+  EXPECT_DOUBLE_EQ(student_t95(1), 12.706);
+  EXPECT_DOUBLE_EQ(student_t95(10), 2.228);
+  EXPECT_DOUBLE_EQ(student_t95(30), 2.042);
+}
+
+TEST(StudentT95, NoDiscontinuityPastTheTable) {
+  // The historical implementation jumped from t(30) = 2.042 straight to
+  // 1.96 at df 31; the interpolated tail steps down smoothly instead.
+  const double t30 = student_t95(30);
+  const double t31 = student_t95(31);
+  EXPECT_DOUBLE_EQ(t30, 2.042);
+  // Pin the interpolated df = 31 value: linear in 1/df between the df = 30
+  // and df = 40 anchors, t = 2.021 + (2.042 - 2.021) *
+  // (1/31 - 1/40) / (1/30 - 1/40).
+  const double expected31 =
+      2.021 + (2.042 - 2.021) * (1.0 / 31 - 1.0 / 40) / (1.0 / 30 - 1.0 / 40);
+  EXPECT_DOUBLE_EQ(t31, expected31);
+  EXPECT_NEAR(t31, 2.0394, 1e-3);
+  EXPECT_LT(t30 - t31, 0.005);  // a step, not the old 0.082 cliff
+}
+
+TEST(StudentT95, TailHitsTheStandardAnchorsAndLimit) {
+  EXPECT_DOUBLE_EQ(student_t95(40), 2.021);
+  EXPECT_DOUBLE_EQ(student_t95(60), 2.000);
+  EXPECT_DOUBLE_EQ(student_t95(120), 1.980);
+  EXPECT_NEAR(student_t95(100000), 1.960, 1e-3);
+  // Monotone non-increasing across the seam and the whole tail.
+  double prev = student_t95(25);
+  for (std::size_t df = 26; df <= 200; ++df) {
+    const double t = student_t95(df);
+    EXPECT_LE(t, prev + 1e-12) << "df " << df;
+    prev = t;
+  }
+  EXPECT_DOUBLE_EQ(student_t95(0), 0.0);
+}
+
+TEST(StudentT95, Ci95UsesTheSmoothedQuantile) {
+  RunningStats wide;  // 32 samples -> df 31, the old cliff edge
+  for (int i = 0; i < 32; ++i) wide.add(static_cast<double>(i % 2));
+  const double expected =
+      student_t95(31) * wide.stddev() / std::sqrt(32.0);
+  EXPECT_DOUBLE_EQ(ci95_half_width(wide), expected);
 }
 
 }  // namespace

@@ -434,8 +434,8 @@ TEST(EngineStreaming, SourceRunMatchesVectorRunExactly) {
   EXPECT_EQ(vector_run.payments_completed, streamed_run.payments_completed);
   EXPECT_EQ(vector_run.payments_failed, streamed_run.payments_failed);
   EXPECT_EQ(vector_run.value_completed, streamed_run.value_completed);
-  EXPECT_DOUBLE_EQ(vector_run.total_completion_delay_s,
-                   streamed_run.total_completion_delay_s);
+  EXPECT_DOUBLE_EQ(vector_run.completion_delay_stats.sum(),
+                   streamed_run.completion_delay_stats.sum());
   // Lazy pulls keep the arrival pipeline tiny either way.
   EXPECT_LT(streamed_run.peak_payment_buffer, 400u);
   EXPECT_GT(streamed_run.peak_payment_buffer, 0u);

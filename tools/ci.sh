@@ -14,7 +14,10 @@
 #      funds-conservation check intact
 #
 # Finally the workload subsystem smokes: a trace replay of the checked-in
-# example trace through splicer_cli, plus streaming bursty/hotspot runs.
+# example trace through splicer_cli, plus streaming bursty/hotspot runs and
+# a streaming --no-retain run (the retention contract), and an ASan+UBSan
+# build of the smoke-label ctest subset so eviction-order bugs surface as
+# hard errors instead of flakes.
 #
 # Usage: tools/ci.sh [build-dir]   (default: build-ci)
 set -euo pipefail
@@ -59,5 +62,20 @@ echo "CI: streaming bursty + hotspot smokes"
   --workload bursty --streaming > "$SMOKE_DIR/bursty.txt"
 "$BUILD_DIR/splicer_cli" compare --nodes 60 --payments 300 \
   --workload hotspot --trials 2 > "$SMOKE_DIR/hotspot.txt"
+
+echo "CI: retention-contract smoke (streaming + --no-retain evicts states)"
+"$BUILD_DIR/splicer_cli" compare --nodes 60 --payments 300 \
+  --streaming --no-retain > "$SMOKE_DIR/no_retain.txt"
+# The evicted column (last) of the Splicer row must be nonzero — matching
+# the header alone would pass even if eviction silently became a no-op.
+awk '$1 == "Splicer" { found = ($NF + 0) > 0 } END { exit !found }' \
+  "$SMOKE_DIR/no_retain.txt"
+
+echo "CI: ASan+UBSan smoke subset"
+SAN_DIR="$BUILD_DIR-asan"
+cmake -B "$SAN_DIR" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DSPLICER_SANITIZE=ON -DSPLICER_BUILD_BENCH=OFF
+cmake --build "$SAN_DIR" -j "$JOBS"
+ctest --test-dir "$SAN_DIR" -L smoke --output-on-failure -j "$JOBS"
 
 echo "CI: all green"
