@@ -1,0 +1,139 @@
+#pragma once
+
+// Slab map for dense sequential ids.
+//
+// PaymentIds and TuIds are handed out as sequential uint64s (by the traffic
+// sources and the engine respectively), and entries are erased roughly in
+// id order as payments/TUs resolve. A hash map pays hashing plus a bucket
+// chase on every hot-path lookup for keys that are, in effect, array
+// indices. DenseIdMap instead keeps a ring of slots covering the id window
+// [base_id, base_id + span): find/erase are a subtraction and a masked
+// index, and erasing the oldest live id slides the window forward, so a
+// streaming run's window stays at the concurrency level (the eviction
+// contract of PR 4 keeps erasing resolved entries). Out-of-order inserts
+// inside — or on either side of — the window are supported; they only cost
+// window span, never correctness.
+
+#include <cstddef>
+#include <cstdint>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+namespace splicer::common {
+
+template <typename T>
+class DenseIdMap {
+ public:
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+  [[nodiscard]] bool empty() const noexcept { return size_ == 0; }
+
+  [[nodiscard]] T* find(std::uint64_t id) noexcept {
+    if (!anchored_ || id < base_id_ || id - base_id_ >= span_) return nullptr;
+    const std::size_t idx = slot_index(id);
+    return live_[idx] ? &ring_[idx] : nullptr;
+  }
+  [[nodiscard]] const T* find(std::uint64_t id) const noexcept {
+    return const_cast<DenseIdMap*>(this)->find(id);
+  }
+
+  /// Strict lookup; throws std::out_of_range on a missing id.
+  [[nodiscard]] T& at(std::uint64_t id) {
+    T* value = find(id);
+    if (value == nullptr) throw std::out_of_range("DenseIdMap: unknown id");
+    return *value;
+  }
+
+  /// Inserts `value` under `id`. Returns {slot, inserted}; an existing live
+  /// entry is left untouched (inserted == false), matching map::emplace.
+  std::pair<T*, bool> emplace(std::uint64_t id, T value) {
+    if (!anchored_ || span_ == 0) {
+      // First insert, or the window fully drained: re-anchor at `id` so an
+      // id jump never forces the window to span the dead gap.
+      reserve_capacity(1);
+      anchored_ = true;
+      base_id_ = id;
+      head_ = 0;
+      span_ = 1;
+    } else if (id >= base_id_ + span_) {
+      const std::uint64_t new_span = id - base_id_ + 1;
+      reserve_capacity(new_span);
+      span_ = static_cast<std::size_t>(new_span);
+    } else if (id < base_id_) {
+      const std::uint64_t grow_by = base_id_ - id;
+      reserve_capacity(span_ + grow_by);
+      head_ = (head_ - static_cast<std::size_t>(grow_by)) & mask();
+      base_id_ = id;
+      span_ += static_cast<std::size_t>(grow_by);
+    }
+    const std::size_t idx = slot_index(id);
+    if (live_[idx]) return {&ring_[idx], false};
+    ring_[idx] = std::move(value);
+    live_[idx] = 1;
+    ++size_;
+    return {&ring_[idx], true};
+  }
+
+  /// Erases the entry (resetting the slot's T so held resources free
+  /// immediately); slides the window past leading dead slots. Returns
+  /// whether anything was erased.
+  bool erase(std::uint64_t id) {
+    T* value = find(id);
+    if (value == nullptr) return false;
+    const std::size_t idx = slot_index(id);
+    ring_[idx] = T{};
+    live_[idx] = 0;
+    --size_;
+    while (span_ > 0 && !live_[head_]) {
+      head_ = (head_ + 1) & mask();
+      ++base_id_;
+      --span_;
+    }
+    return true;
+  }
+
+ private:
+  [[nodiscard]] std::size_t mask() const noexcept { return ring_.size() - 1; }
+  [[nodiscard]] std::size_t slot_index(std::uint64_t id) const noexcept {
+    return (head_ + static_cast<std::size_t>(id - base_id_)) & mask();
+  }
+
+  /// Hard ceiling on the id window. The map is for *dense* sequential ids;
+  /// a window this wide means a caller handed in ids with huge gaps, and
+  /// allocating O(gap) slots (or wrapping the doubling loop past 2^63)
+  /// must be a loud error, not an OOM.
+  static constexpr std::uint64_t kMaxSpan = std::uint64_t{1} << 31;
+
+  /// Grows the ring (power-of-two capacity) until it covers `needed` ids,
+  /// compacting the current window to the front of the new ring.
+  void reserve_capacity(std::uint64_t needed) {
+    if (needed <= ring_.size()) return;
+    if (needed > kMaxSpan) {
+      throw std::length_error(
+          "DenseIdMap: id window too sparse (ids must be dense sequential)");
+    }
+    std::size_t capacity = ring_.empty() ? 16 : ring_.size();
+    while (capacity < needed) capacity *= 2;
+    std::vector<T> ring(capacity);
+    std::vector<std::uint8_t> live(capacity, 0);
+    for (std::size_t i = 0; i < span_; ++i) {
+      const std::size_t from = (head_ + i) & mask();
+      if (!live_[from]) continue;
+      ring[i] = std::move(ring_[from]);
+      live[i] = 1;
+    }
+    ring_ = std::move(ring);
+    live_ = std::move(live);
+    head_ = 0;
+  }
+
+  std::vector<T> ring_;
+  std::vector<std::uint8_t> live_;
+  std::uint64_t base_id_ = 0;
+  std::size_t head_ = 0;  // ring offset of base_id_
+  std::size_t span_ = 0;  // ids covered by the window
+  std::size_t size_ = 0;  // live entries
+  bool anchored_ = false;
+};
+
+}  // namespace splicer::common

@@ -1,0 +1,129 @@
+#pragma once
+
+// Move-only type-erased callable with small-buffer storage.
+//
+// std::function heap-allocates any target larger than its 16-byte internal
+// buffer and requires copyability; on the experiment sweep path that costs
+// one allocation per submitted task. SmallFunction stores targets up to
+// `Capacity` bytes inline (no allocation, the common case for lambdas
+// capturing a few pointers/indices) and falls back to the heap only for
+// oversized targets. Move-only, so tasks can own move-only state.
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace splicer::common {
+
+template <typename Signature, std::size_t Capacity = 48>
+class SmallFunction;
+
+template <typename R, typename... Args, std::size_t Capacity>
+class SmallFunction<R(Args...), Capacity> {
+ public:
+  SmallFunction() noexcept = default;
+  SmallFunction(std::nullptr_t) noexcept {}  // NOLINT(google-explicit-constructor)
+
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, SmallFunction> &&
+                std::is_invocable_r_v<R, std::decay_t<F>&, Args...>>>
+  SmallFunction(F&& f) {  // NOLINT(google-explicit-constructor)
+    using Target = std::decay_t<F>;
+    if constexpr (sizeof(Target) <= Capacity &&
+                  alignof(Target) <= alignof(std::max_align_t) &&
+                  std::is_nothrow_move_constructible_v<Target>) {
+      ::new (static_cast<void*>(storage_)) Target(std::forward<F>(f));
+      ops_ = &inline_ops<Target>;
+    } else {
+      // Oversized target: the inline object is just an owning pointer.
+      ::new (static_cast<void*>(storage_))
+          Target*(new Target(std::forward<F>(f)));
+      ops_ = &boxed_ops<Target>;
+    }
+  }
+
+  SmallFunction(SmallFunction&& other) noexcept { move_from(other); }
+
+  SmallFunction& operator=(SmallFunction&& other) noexcept {
+    if (this != &other) {
+      reset();
+      move_from(other);
+    }
+    return *this;
+  }
+
+  SmallFunction& operator=(std::nullptr_t) noexcept {
+    reset();
+    return *this;
+  }
+
+  SmallFunction(const SmallFunction&) = delete;
+  SmallFunction& operator=(const SmallFunction&) = delete;
+
+  ~SmallFunction() { reset(); }
+
+  [[nodiscard]] explicit operator bool() const noexcept {
+    return ops_ != nullptr;
+  }
+
+  R operator()(Args... args) {
+    if (ops_ == nullptr) throw std::bad_function_call();
+    return ops_->call(storage_, std::forward<Args>(args)...);
+  }
+
+ private:
+  struct Ops {
+    R (*call)(void* storage, Args&&... args);
+    void (*relocate)(void* dst, void* src) noexcept;  // move + destroy src
+    void (*destroy)(void* storage) noexcept;
+  };
+
+  template <typename Target>
+  static constexpr Ops inline_ops{
+      [](void* storage, Args&&... args) -> R {
+        return (*static_cast<Target*>(storage))(std::forward<Args>(args)...);
+      },
+      [](void* dst, void* src) noexcept {
+        ::new (dst) Target(std::move(*static_cast<Target*>(src)));
+        static_cast<Target*>(src)->~Target();
+      },
+      [](void* storage) noexcept { static_cast<Target*>(storage)->~Target(); },
+  };
+
+  template <typename Target>
+  static constexpr Ops boxed_ops{
+      [](void* storage, Args&&... args) -> R {
+        return (**static_cast<Target**>(storage))(std::forward<Args>(args)...);
+      },
+      [](void* dst, void* src) noexcept {
+        ::new (dst) Target*(*static_cast<Target**>(src));
+        *static_cast<Target**>(src) = nullptr;
+      },
+      [](void* storage) noexcept { delete *static_cast<Target**>(storage); },
+  };
+
+  void move_from(SmallFunction& other) noexcept {
+    if (other.ops_ != nullptr) {
+      other.ops_->relocate(storage_, other.storage_);
+      ops_ = std::exchange(other.ops_, nullptr);
+    }
+  }
+
+  void reset() noexcept {
+    if (ops_ != nullptr) {
+      ops_->destroy(storage_);
+      ops_ = nullptr;
+    }
+  }
+
+  alignas(std::max_align_t) std::byte storage_[Capacity < sizeof(void*)
+                                                   ? sizeof(void*)
+                                                   : Capacity];
+  const Ops* ops_ = nullptr;
+};
+
+}  // namespace splicer::common

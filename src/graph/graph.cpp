@@ -14,6 +14,11 @@ EdgeId Graph::add_edge(NodeId u, NodeId v, double weight, double capacity) {
   }
   if (u == v) throw std::invalid_argument("Graph::add_edge: self-loop");
   const auto id = static_cast<EdgeId>(edges_.size());
+  if (edges_.empty()) {
+    uniform_weight_ = weight > 0 ? weight : 0.0;
+  } else if (weight != uniform_weight_) {
+    uniform_weight_ = 0.0;
+  }
   edges_.push_back(Edge{u, v, weight, capacity});
   adjacency_[u].push_back(HalfEdge{v, id});
   adjacency_[v].push_back(HalfEdge{u, id});

@@ -55,8 +55,21 @@ class Graph {
   /// The endpoint of `e` that is not `from`.
   [[nodiscard]] NodeId other_end(EdgeId e, NodeId from) const;
 
-  void set_weight(EdgeId e, double weight) { edges_.at(e).weight = weight; }
+  void set_weight(EdgeId e, double weight) {
+    edges_.at(e).weight = weight;
+    // Conservative: a differing write clears the uniform flag for good
+    // (restoring uniformity by rewriting every edge is not tracked).
+    if (weight != uniform_weight_) uniform_weight_ = 0.0;
+  }
   void set_capacity(EdgeId e, double capacity) { edges_.at(e).capacity = capacity; }
+
+  /// The weight shared by every edge when all weights are equal and
+  /// positive; 0.0 otherwise (no edges, mixed weights, or non-positive).
+  /// Maintained incrementally so shortest-path callers can pick the
+  /// uniform-weight fast path without scanning the edge list per query.
+  [[nodiscard]] double uniform_positive_weight() const noexcept {
+    return uniform_weight_;
+  }
 
   /// First edge between u and v, or kInvalidEdge.
   [[nodiscard]] EdgeId find_edge(NodeId u, NodeId v) const;
@@ -67,6 +80,7 @@ class Graph {
  private:
   std::vector<Edge> edges_;
   std::vector<std::vector<HalfEdge>> adjacency_;
+  double uniform_weight_ = 0.0;  // see uniform_positive_weight()
 };
 
 /// A simple (loop-free) path. `nodes` has one more element than `edges`;

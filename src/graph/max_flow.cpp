@@ -2,7 +2,7 @@
 
 #include <algorithm>
 #include <limits>
-#include <queue>
+#include <vector>
 
 namespace splicer::graph {
 
@@ -16,7 +16,10 @@ MaxFlowResult max_flow(const Graph& g, NodeId src, NodeId dst,
   if (src == dst) return result;
 
   // Residual capacities per arc: arc 2e = u->v of edge e, arc 2e+1 = v->u.
-  std::vector<double> residual(2 * g.edge_count());
+  // Thread-local scratch: Flash runs one max_flow per elephant payment, so
+  // the per-call buffer allocations were hot-path churn.
+  static thread_local std::vector<double> residual;
+  residual.assign(2 * g.edge_count(), 0.0);
   for (EdgeId e = 0; e < g.edge_count(); ++e) {
     const double fwd =
         options.forward_capacity ? (*options.forward_capacity)[e] : g.edge(e).capacity;
@@ -30,27 +33,32 @@ MaxFlowResult max_flow(const Graph& g, NodeId src, NodeId dst,
     return g.edge(e).u == from ? 2 * e : 2 * e + 1;
   };
 
-  std::vector<NodeId> parent(g.node_count());
-  std::vector<EdgeId> parent_edge(g.node_count());
+  static thread_local std::vector<NodeId> parent;
+  static thread_local std::vector<EdgeId> parent_edge;
+  static thread_local std::vector<NodeId> frontier;
+  parent.resize(g.node_count());
+  parent_edge.resize(g.node_count());
 
   while (true) {
     if (options.flow_limit >= 0.0 && result.total_flow >= options.flow_limit - kEps) break;
     if (options.max_paths != 0 && result.paths.size() >= options.max_paths) break;
 
-    // BFS for an augmenting path in the residual graph.
+    // BFS for an augmenting path in the residual graph. The frontier is an
+    // index-cursor vector (identical visit order to the old std::queue,
+    // without a deque allocation per round).
     std::fill(parent.begin(), parent.end(), kInvalidNode);
     parent[src] = src;
-    std::queue<NodeId> frontier;
-    frontier.push(src);
-    while (!frontier.empty() && parent[dst] == kInvalidNode) {
-      const NodeId u = frontier.front();
-      frontier.pop();
+    frontier.clear();
+    frontier.push_back(src);
+    for (std::size_t head = 0;
+         head < frontier.size() && parent[dst] == kInvalidNode; ++head) {
+      const NodeId u = frontier[head];
       for (const auto& half : g.neighbors(u)) {
         if (parent[half.to] != kInvalidNode) continue;
         if (residual[arc_of(half.edge, u)] <= kEps) continue;
         parent[half.to] = u;
         parent_edge[half.to] = half.edge;
-        frontier.push(half.to);
+        frontier.push_back(half.to);
       }
     }
     if (parent[dst] == kInvalidNode) break;  // no augmenting path

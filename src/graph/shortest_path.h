@@ -24,6 +24,12 @@ struct DijkstraOptions {
   /// If non-null, nodes with (*disabled_nodes)[n] cannot be traversed
   /// (source is always allowed to start).
   const std::vector<char>* disabled_nodes = nullptr;
+  /// If set, the search stops once this node is settled (popped with its
+  /// final distance). A settled node's parent chain is final, so the
+  /// extracted src->stop_at path is bit-identical to a full run — only
+  /// dist/parent entries of nodes farther than stop_at are left unset.
+  /// shortest_path() sets this; single-source callers leave it invalid.
+  NodeId stop_at = kInvalidNode;
 };
 
 struct DijkstraResult {

@@ -39,25 +39,34 @@ void A2lRouter::on_payment(Engine& engine, const pcn::Payment& payment) {
   }
   engine.counters().control_messages += 4;  // puzzle promise/solver exchange
 
+  // Typed crypto-phase timer: the engine's PaymentState keeps the payment
+  // and the star topology is immutable during a run, so the path is
+  // recomputed on fire from the id alone — no closure, no Path copy.
+  engine.schedule_timer(hub_busy_until_ - engine.now(), payment.id);
+}
+
+void A2lRouter::on_timer(Engine& engine, std::uint64_t a, std::uint64_t b) {
+  (void)b;
+  // Checked lookup: the crypto-phase delay can outlive the payment, whose
+  // resolved state may already be evicted (streaming retention contract).
+  const auto* state = engine.find_payment_state(a);
+  if (state == nullptr || !state->active()) return;
+  const pcn::Payment& payment = state->payment;
+  const auto& g = engine.network().topology();
+
   graph::Path path;
   path.nodes = {payment.sender, hub_, payment.receiver};
-  path.edges = {in_edge, out_edge};
+  path.edges = {g.find_edge(payment.sender, hub_),
+                g.find_edge(hub_, payment.receiver)};
   path.length = 2.0;
 
-  engine.scheduler().after(hub_busy_until_ - engine.now(),
-                           [this, &engine, payment, path] {
-    // Checked lookup: the crypto-phase delay can outlive the payment, whose
-    // resolved state may already be evicted (streaming retention contract).
-    const auto* state = engine.find_payment_state(payment.id);
-    if (state == nullptr || !state->active()) return;
-    TransactionUnit tu;
-    tu.payment = payment.id;
-    tu.value = payment.value;
-    tu.path = path;
-    tu.hop_amounts.assign(2, payment.value);
-    tu.deadline = payment.deadline;
-    engine.send_tu(std::move(tu));
-  });
+  TransactionUnit tu;
+  tu.payment = payment.id;
+  tu.value = payment.value;
+  tu.path = std::move(path);
+  tu.hop_amounts.assign(2, payment.value);
+  tu.deadline = payment.deadline;
+  engine.send_tu(std::move(tu));
 }
 
 void A2lRouter::on_tu_failed(Engine& engine, const TransactionUnit& tu,

@@ -40,6 +40,10 @@ class A2lRouter final : public Router {
                     FailReason reason) override;
 
  private:
+  /// Crypto-phase completion timer: `a` is the PaymentId whose TU is now
+  /// ready to dispatch (typed pooled event; no per-payment closure).
+  void on_timer(Engine& engine, std::uint64_t a, std::uint64_t b) override;
+
   Config config_;
   NodeId hub_ = graph::kInvalidNode;
   double hub_busy_until_ = 0.0;

@@ -1,6 +1,7 @@
 #include "routing/engine.h"
 
 #include <algorithm>
+#include <cmath>
 #include <stdexcept>
 #include <utility>
 
@@ -36,10 +37,98 @@ Engine::Engine(pcn::Network network, std::unique_ptr<pcn::TrafficSource> source,
       config_(config),
       rng_(config.seed) {
   if (!source_) throw std::invalid_argument("Engine: null traffic source");
+  scheduler_.set_sink(this);
   source_horizon_ = source_->horizon_hint();
   directed_.resize(2 * network_.channel_count());
   batcher_.pending.resize(2 * network_.channel_count());
   initial_funds_ = network_.total_funds();
+}
+
+std::int64_t Engine::arrival_tick(double when) noexcept {
+  // Nanosecond grid: times this close are "the same instant" for arrival
+  // coalescing (hop delays are milliseconds), and the integer key makes
+  // same-instant equality exact instead of bit-pattern luck.
+  return static_cast<std::int64_t>(std::llround(when * 1e9));
+}
+
+void Engine::handle_event(const sim::EngineEvent& event) {
+  using Kind = sim::EngineEvent::Kind;
+  switch (event.kind) {
+    case Kind::kArrival: {
+      const pcn::Payment payment = std::move(*staged_arrival_);
+      staged_arrival_.reset();
+      on_arrival(payment);
+      break;
+    }
+    case Kind::kDeadline:
+      on_payment_deadline(static_cast<PaymentId>(event.a));
+      break;
+    case Kind::kAttemptHop:
+      attempt_hop(static_cast<TuId>(event.a));
+      break;
+    case Kind::kArriveNext:
+      arrive_next(static_cast<TuId>(event.a));
+      break;
+    case Kind::kArrivalBucket: {
+      const auto node =
+          arrival_buckets_.extract(static_cast<std::int64_t>(event.a));
+      for (const TuId tu : node.mapped()) arrive_next(tu);
+      break;
+    }
+    case Kind::kReleaseTu:
+      release_live_tu(static_cast<TuId>(event.a));
+      break;
+    case Kind::kSettleAck:
+    case Kind::kRefundAck: {
+      auto& ch = network_.channel(event.channel);
+      const pcn::Direction d = ch.direction_from(event.aux);
+      const auto amount = static_cast<Amount>(event.a);
+      ++metrics_.messages.ack_messages;
+      if (event.kind == Kind::kSettleAck) {
+        ch.settle(d, amount);
+        // The receiving side gained spendable funds: opposite direction.
+        drain_queue(event.channel, pcn::opposite(d));
+      } else {
+        ch.refund(d, amount);
+        // The payer side regained spendable funds: same direction.
+        drain_queue(event.channel, d);
+      }
+      break;
+    }
+    case Kind::kMark: {
+      const auto id = static_cast<TuId>(event.a);
+      const ChannelId channel = event.channel;
+      const auto d = static_cast<pcn::Direction>(event.aux);
+      auto& state = directed(channel, d);
+      const auto pos = std::find_if(
+          state.queue.begin(), state.queue.end(),
+          [id](const QueuedTu& q) { return q.id == id; });
+      if (pos == state.queue.end()) break;  // already drained
+      state.queued_value -= pos->amount;
+      state.queue.erase(pos);
+      if (config_.validate_queues) check_queue_invariant(channel, d);
+      LiveTu* live = live_.find(id);
+      if (live == nullptr) break;  // stale: accounting released above
+      live->tu.marked = true;
+      fail_tu(id, FailReason::kMarkedCongested);
+      break;
+    }
+    case Kind::kDrain:
+      directed(event.channel, static_cast<pcn::Direction>(event.aux))
+          .drain_pending = false;
+      drain_queue(event.channel, static_cast<pcn::Direction>(event.aux));
+      break;
+    case Kind::kFlush:
+      batcher_.flush_scheduled = false;
+      ++metrics_.settlement_flushes;
+      flush_settlements(/*drain=*/true);
+      break;
+    case Kind::kRouterTimer:
+      router_.on_timer(*this, event.a, event.b);
+      break;
+    case Kind::kNone:
+      throw std::logic_error("Engine: untyped event reached the sink");
+  }
 }
 
 Engine::Engine(pcn::Network network, std::vector<pcn::Payment> payments,
@@ -90,13 +179,14 @@ void Engine::schedule_next_arrival() {
   last_deadline_seen_ = std::max(last_deadline_seen_, payment->deadline);
   ++pending_arrivals_;
   note_buffer_peak();
-  scheduler_.at(payment->arrival_time,
-                [this, p = *payment] { on_arrival(p); });
+  staged_arrival_ = std::move(*payment);
+  scheduler_.at(staged_arrival_->arrival_time,
+                sim::EngineEvent{.kind = sim::EngineEvent::Kind::kArrival});
 }
 
 void Engine::on_arrival(const pcn::Payment& payment) {
   --pending_arrivals_;
-  auto [it, inserted] = states_.emplace(payment.id, PaymentState{payment});
+  auto [state, inserted] = states_.emplace(payment.id, PaymentState{payment});
   if (!inserted) throw std::logic_error("Engine: duplicate payment id");
   ++active_payments_;
   note_buffer_peak();
@@ -107,12 +197,13 @@ void Engine::on_arrival(const pcn::Payment& payment) {
   metrics_.value_generated += payment.value;
   // payreq over the secure channel + KMG key issuance.
   metrics_.messages.control_messages += 2;
-  it->second.deadline_pending = true;
-  const auto deadline_event = scheduler_.at(
-      payment.deadline, [this, id = payment.id] { on_payment_deadline(id); });
-  if (config_.settlement_epoch_s > 0) {
-    deadline_events_.emplace(payment.id, deadline_event);
-  }
+  state->deadline_pending = true;
+  state->deadline_event = scheduler_.at(
+      payment.deadline,
+      sim::EngineEvent{.kind = sim::EngineEvent::Kind::kDeadline,
+                       .channel = 0,
+                       .aux = 0,
+                       .a = payment.id});
   router_.on_payment(*this, payment);
   schedule_next_arrival();
 }
@@ -125,11 +216,13 @@ void Engine::note_buffer_peak() noexcept {
 }
 
 void Engine::cancel_deadline_event(PaymentId id) {
-  const auto it = deadline_events_.find(id);
-  if (it == deadline_events_.end()) return;
-  scheduler_.cancel(it->second);
-  deadline_events_.erase(it);
-  if (auto* state = find_payment_state(id)) state->deadline_pending = false;
+  // Per-hop mode never cancels: resolved payments' deadline events fire as
+  // no-ops so the epoch-0 event stream stays byte-identical.
+  if (config_.settlement_epoch_s <= 0) return;
+  auto* state = find_payment_state(id);
+  if (state == nullptr || !state->deadline_pending) return;
+  scheduler_.cancel(state->deadline_event);
+  state->deadline_pending = false;
 }
 
 void Engine::fold_resolution(const PaymentState& state) {
@@ -143,10 +236,10 @@ void Engine::fold_resolution(const PaymentState& state) {
 }
 
 void Engine::release_live_tu(TuId id) {
-  const auto it = live_.find(id);
-  if (it == live_.end()) return;
-  const PaymentId payment = it->second.tu.payment;
-  live_.erase(it);
+  const LiveTu* live = live_.find(id);
+  if (live == nullptr) return;
+  const PaymentId payment = live->tu.payment;
+  live_.erase(id);
   if (auto* state = state_or_orphan(payment)) {
     if (state->live_tus > 0) --state->live_tus;
     maybe_evict(payment);
@@ -155,15 +248,20 @@ void Engine::release_live_tu(TuId id) {
 
 void Engine::maybe_evict(PaymentId id) {
   if (config_.retain_resolved) return;
-  const auto it = states_.find(id);
-  if (it == states_.end()) return;
-  const PaymentState& state = it->second;
-  if (state.active() || state.live_tus > 0 || state.deadline_pending) return;
-  states_.erase(it);
+  const PaymentState* state = states_.find(id);
+  if (state == nullptr) return;
+  if (state->active() || state->live_tus > 0 || state->deadline_pending) return;
+  states_.erase(id);
   ++metrics_.states_evicted;
 }
 
 TuId Engine::send_tu(TransactionUnit tu) {
+  if (in_forward_hook_) {
+    // The on_tu_forwarded hook holds a reference into live_; inserting a
+    // new TU could relocate the slab under it (Router::on_tu_forwarded
+    // documents the contract — this makes a violation a hard error).
+    throw std::logic_error("Engine::send_tu: called from on_tu_forwarded");
+  }
   if (tu.path.edges.empty() || tu.hop_amounts.size() != tu.path.edges.size()) {
     throw std::invalid_argument("Engine::send_tu: malformed TU");
   }
@@ -195,9 +293,9 @@ TuId Engine::send_tu(TransactionUnit tu) {
 }
 
 PaymentState& Engine::payment_state(PaymentId id) {
-  const auto it = states_.find(id);
-  if (it == states_.end()) throw std::out_of_range("Engine: unknown payment");
-  return it->second;
+  PaymentState* state = states_.find(id);
+  if (state == nullptr) throw std::out_of_range("Engine: unknown payment");
+  return *state;
 }
 
 PaymentState* Engine::state_or_orphan(PaymentId id) {
@@ -229,9 +327,9 @@ Amount Engine::queue_amount(ChannelId channel, pcn::Direction d) const {
 }
 
 void Engine::attempt_hop(TuId id) {
-  auto it = live_.find(id);
-  if (it == live_.end()) return;  // already resolved
-  auto& live = it->second;
+  LiveTu* live_ptr = live_.find(id);
+  if (live_ptr == nullptr) return;  // already resolved
+  auto& live = *live_ptr;
   auto& tu = live.tu;
   const std::size_t hop = tu.next_hop;
   const ChannelId channel = tu.path.edges[hop];
@@ -253,7 +351,12 @@ void Engine::attempt_hop(TuId id) {
       batcher_.deferred_tus.push_back(id);
       schedule_flush();
     } else {
-      scheduler_.at(ds.next_free, [this, id] { attempt_hop(id); });
+      scheduler_.at(ds.next_free,
+                    sim::EngineEvent{
+                        .kind = sim::EngineEvent::Kind::kAttemptHop,
+                        .channel = 0,
+                        .aux = 0,
+                        .a = id});
     }
     return;
   }
@@ -270,34 +373,44 @@ void Engine::attempt_hop(TuId id) {
   ds.next_free = std::max(scheduler_.now(), ds.next_free) +
                  common::to_tokens(amount) / config_.process_rate_tokens_per_s;
   ++metrics_.messages.data_hops;
+  in_forward_hook_ = true;
   router_.on_tu_forwarded(*this, tu, channel, d);
+  in_forward_hook_ = false;
   schedule_hop_arrival(id);
 }
 
 void Engine::schedule_hop_arrival(TuId id) {
   if (config_.settlement_epoch_s <= 0) {
-    scheduler_.after(config_.hop_delay_s, [this, id] { arrive_next(id); });
+    scheduler_.after(config_.hop_delay_s,
+                     sim::EngineEvent{
+                         .kind = sim::EngineEvent::Kind::kArriveNext,
+                         .channel = 0,
+                         .aux = 0,
+                         .a = id});
     return;
   }
   // Batched mode: a flush forwards whole queues at one boundary, so many
-  // TUs arrive at the identical instant — share one event per timestamp.
-  // Arrival order inside a bucket is insertion order, i.e. the order the
-  // separate events would have fired in.
+  // TUs arrive at the identical instant — share one event per tick-
+  // quantised timestamp. Arrival order inside a bucket is insertion order,
+  // i.e. the order the separate events would have fired in.
   const double when = scheduler_.now() + config_.hop_delay_s;
-  const auto [it, inserted] = arrival_buckets_.try_emplace(when);
+  const std::int64_t key = arrival_tick(when);
+  const auto [it, inserted] = arrival_buckets_.try_emplace(key);
   it->second.push_back(id);
   if (inserted) {
-    scheduler_.at(when, [this, when] {
-      const auto node = arrival_buckets_.extract(when);
-      for (const TuId tu : node.mapped()) arrive_next(tu);
-    });
+    scheduler_.at(when,
+                  sim::EngineEvent{
+                      .kind = sim::EngineEvent::Kind::kArrivalBucket,
+                      .channel = 0,
+                      .aux = 0,
+                      .a = static_cast<std::uint64_t>(key)});
   }
 }
 
 void Engine::arrive_next(TuId id) {
-  const auto it = live_.find(id);
-  if (it == live_.end()) return;
-  auto& tu = it->second.tu;
+  LiveTu* live = live_.find(id);
+  if (live == nullptr) return;
+  auto& tu = live->tu;
   ++tu.next_hop;
   if (tu.next_hop == tu.path.edges.size()) {
     deliver(id);
@@ -307,9 +420,9 @@ void Engine::arrive_next(TuId id) {
 }
 
 void Engine::deliver(TuId id) {
-  const auto it = live_.find(id);
-  if (it == live_.end()) return;
-  auto& live = it->second;
+  LiveTu* live_ptr = live_.find(id);
+  if (live_ptr == nullptr) return;
+  auto& live = *live_ptr;
   ++metrics_.tus_delivered;
 
   // Orphan-tolerant: a TU of a payment resolved and evicted before it was
@@ -332,7 +445,12 @@ void Engine::deliver(TuId id) {
     }
   }
   settle_backwards(id);
-  const TransactionUnit tu_copy = live.tu;
+  // Hand the router a moved-out TU instead of a deep copy (path +
+  // hop_amounts vectors, once per delivered TU). The live entry is only
+  // consulted for scalar fields afterwards (tu.payment at release), and
+  // scalars survive a memberwise move; a resolved TU can hold no queue
+  // entry, so nothing reads the vacated vectors.
+  const TransactionUnit tu_copy = std::move(live.tu);
   router_.on_tu_delivered(*this, tu_copy);
   // Batched mode settles from the epoch buffer, so nothing references the
   // live entry anymore; per-hop mode releases it after the last ack event.
@@ -340,9 +458,9 @@ void Engine::deliver(TuId id) {
 }
 
 void Engine::settle_backwards(TuId id) {
-  auto it = live_.find(id);
-  if (it == live_.end()) return;
-  auto& live = it->second;
+  LiveTu* live_ptr = live_.find(id);
+  if (live_ptr == nullptr) return;
+  auto& live = *live_ptr;
   const auto& tu = live.tu;
   const std::size_t hops = tu.path.edges.size();
   if (config_.settlement_epoch_s > 0) {
@@ -356,43 +474,46 @@ void Engine::settle_backwards(TuId id) {
   double delay = config_.hop_delay_s;
   for (std::size_t i = hops; i-- > 0;) {
     if (!live.hop_locked[i]) continue;
-    const ChannelId channel = tu.path.edges[i];
-    const NodeId from = tu.path.nodes[i];
-    const Amount amount = tu.hop_amounts[i];
-    scheduler_.after(delay, [this, channel, from, amount] {
-      auto& ch = network_.channel(channel);
-      const pcn::Direction d = ch.direction_from(from);
-      ch.settle(d, amount);
-      ++metrics_.messages.ack_messages;
-      // The receiving side gained spendable funds: opposite direction.
-      drain_queue(channel, pcn::opposite(d));
-    });
+    scheduler_.after(delay,
+                     sim::EngineEvent{
+                         .kind = sim::EngineEvent::Kind::kSettleAck,
+                         .channel = tu.path.edges[i],
+                         .aux = tu.path.nodes[i],
+                         .a = static_cast<std::uint64_t>(tu.hop_amounts[i])});
     delay += config_.hop_delay_s;
   }
-  scheduler_.after(delay, [this, id] { release_live_tu(id); });
+  scheduler_.after(delay,
+                   sim::EngineEvent{.kind = sim::EngineEvent::Kind::kReleaseTu,
+                                    .channel = 0,
+                                    .aux = 0,
+                                    .a = id});
 }
 
 void Engine::fail_tu(TuId id, FailReason reason) {
-  const auto it = live_.find(id);
-  if (it == live_.end()) return;
+  LiveTu* live = live_.find(id);
+  if (live == nullptr) return;
   // Orphan TUs (see send_tu) have no payment state to update.
-  if (auto* state = state_or_orphan(it->second.tu.payment)) {
-    state->in_flight -= it->second.tu.value;
+  if (auto* state = state_or_orphan(live->tu.payment)) {
+    state->in_flight -= live->tu.value;
   }
   ++metrics_.tus_failed;
   ++metrics_.tu_fail_reasons[static_cast<std::size_t>(reason)];
   if (reason == FailReason::kMarkedCongested) ++metrics_.tus_marked;
-  const TransactionUnit tu_copy = it->second.tu;
   refund_backwards(id, reason);
+  // Moved, not copied — refund_backwards has already folded every locked
+  // hop, and the live entry only needs scalar fields afterwards (see
+  // deliver()). refund_backwards schedules events but never inserts into
+  // live_, so `live` stays valid across the call.
+  const TransactionUnit tu_copy = std::move(live->tu);
   router_.on_tu_failed(*this, tu_copy, reason);
   if (config_.settlement_epoch_s > 0) release_live_tu(id);
 }
 
 void Engine::refund_backwards(TuId id, FailReason reason) {
   (void)reason;
-  auto it = live_.find(id);
-  if (it == live_.end()) return;
-  auto& live = it->second;
+  LiveTu* live_ptr = live_.find(id);
+  if (live_ptr == nullptr) return;
+  auto& live = *live_ptr;
   const auto& tu = live.tu;
   if (config_.settlement_epoch_s > 0) {
     add_pending_locked_hops(live, /*is_settle=*/false);
@@ -401,20 +522,19 @@ void Engine::refund_backwards(TuId id, FailReason reason) {
   double delay = config_.hop_delay_s;
   for (std::size_t i = tu.path.edges.size(); i-- > 0;) {
     if (!live.hop_locked[i]) continue;
-    const ChannelId channel = tu.path.edges[i];
-    const NodeId from = tu.path.nodes[i];
-    const Amount amount = tu.hop_amounts[i];
-    scheduler_.after(delay, [this, channel, from, amount] {
-      auto& ch = network_.channel(channel);
-      const pcn::Direction d = ch.direction_from(from);
-      ch.refund(d, amount);
-      ++metrics_.messages.ack_messages;
-      // The payer side regained spendable funds: same direction.
-      drain_queue(channel, d);
-    });
+    scheduler_.after(delay,
+                     sim::EngineEvent{
+                         .kind = sim::EngineEvent::Kind::kRefundAck,
+                         .channel = tu.path.edges[i],
+                         .aux = tu.path.nodes[i],
+                         .a = static_cast<std::uint64_t>(tu.hop_amounts[i])});
     delay += config_.hop_delay_s;
   }
-  scheduler_.after(delay, [this, id] { release_live_tu(id); });
+  scheduler_.after(delay,
+                   sim::EngineEvent{.kind = sim::EngineEvent::Kind::kReleaseTu,
+                                    .channel = 0,
+                                    .aux = 0,
+                                    .a = id});
 }
 
 void Engine::enqueue(TuId id, ChannelId channel, pcn::Direction d) {
@@ -429,22 +549,14 @@ void Engine::enqueue(TuId id, ChannelId channel, pcn::Direction d) {
   queued.id = id;
   queued.enqueued_at = scheduler_.now();
   queued.amount = amount;
-  // Congestion marking: if still queued after T, mark & abort (eq. 27 path).
+  // Congestion marking: if still queued after T, mark & abort (eq. 27 path,
+  // handled by the kMark branch of handle_event).
   queued.mark_event = scheduler_.after(
-      config_.queue_delay_threshold_s, [this, id, channel, d] {
-        auto& state = directed(channel, d);
-        const auto pos = std::find_if(
-            state.queue.begin(), state.queue.end(),
-            [id](const QueuedTu& q) { return q.id == id; });
-        if (pos == state.queue.end()) return;  // already drained
-        state.queued_value -= pos->amount;
-        state.queue.erase(pos);
-        if (config_.validate_queues) check_queue_invariant(channel, d);
-        const auto live_it = live_.find(id);
-        if (live_it == live_.end()) return;  // stale: accounting released above
-        live_it->second.tu.marked = true;
-        fail_tu(id, FailReason::kMarkedCongested);
-      });
+      config_.queue_delay_threshold_s,
+      sim::EngineEvent{.kind = sim::EngineEvent::Kind::kMark,
+                       .channel = channel,
+                       .aux = static_cast<std::uint32_t>(pcn::dir_index(d)),
+                       .a = id});
   ds.queued_value += amount;
   ds.queue.push_back(queued);
   // If blocked on the rate limiter, retry when the bucket frees up.
@@ -462,9 +574,9 @@ std::size_t Engine::pick_from_queue(const DirectedState& state) const {
       std::size_t best = 0;
       Amount best_value = 0;
       for (std::size_t i = 0; i < state.queue.size(); ++i) {
-        const auto it = live_.find(state.queue[i].id);
-        if (it == live_.end()) return i;  // stale: evict before policy picks
-        const Amount v = it->second.tu.value;
+        const LiveTu* live = live_.find(state.queue[i].id);
+        if (live == nullptr) return i;  // stale: evict before policy picks
+        const Amount v = live->tu.value;
         if (i == 0 || v < best_value) {
           best = i;
           best_value = v;
@@ -476,9 +588,9 @@ std::size_t Engine::pick_from_queue(const DirectedState& state) const {
       std::size_t best = 0;
       double best_deadline = 0.0;
       for (std::size_t i = 0; i < state.queue.size(); ++i) {
-        const auto it = live_.find(state.queue[i].id);
-        if (it == live_.end()) return i;  // stale: evict before policy picks
-        const double dl = it->second.tu.deadline;
+        const LiveTu* live = live_.find(state.queue[i].id);
+        if (live == nullptr) return i;  // stale: evict before policy picks
+        const double dl = live->tu.deadline;
         if (i == 0 || dl < best_deadline) {
           best = i;
           best_deadline = dl;
@@ -500,8 +612,8 @@ void Engine::drain_queue(ChannelId channel, pcn::Direction d) {
     }
     const std::size_t index = pick_from_queue(ds);
     const QueuedTu entry = ds.queue[index];
-    const auto live_it = live_.find(entry.id);
-    if (live_it == live_.end()) {
+    const LiveTu* live = live_.find(entry.id);
+    if (live == nullptr) {
       // Stale entry (TU resolved elsewhere): release its accounting too —
       // erasing the entry alone would leak queued_value and leave the mark
       // event live to fire against a recycled queue position.
@@ -510,8 +622,7 @@ void Engine::drain_queue(ChannelId channel, pcn::Direction d) {
       ds.queued_value -= entry.amount;
       continue;
     }
-    const Amount amount =
-        live_it->second.tu.hop_amounts[live_it->second.tu.next_hop];
+    const Amount amount = live->tu.hop_amounts[live->tu.next_hop];
     if (ch.available(d) < amount) break;  // wait for the next settle/refund
     scheduler_.cancel(entry.mark_event);
     ds.queue.erase(ds.queue.begin() + static_cast<std::ptrdiff_t>(index));
@@ -532,10 +643,12 @@ void Engine::schedule_drain(ChannelId channel, pcn::Direction d, double when) {
     schedule_flush();
     return;
   }
-  scheduler_.at(when, [this, channel, d] {
-    directed(channel, d).drain_pending = false;
-    drain_queue(channel, d);
-  });
+  scheduler_.at(when,
+                sim::EngineEvent{
+                    .kind = sim::EngineEvent::Kind::kDrain,
+                    .channel = channel,
+                    .aux = static_cast<std::uint32_t>(pcn::dir_index(d)),
+                    .a = 0});
 }
 
 void Engine::add_pending_locked_hops(const LiveTu& live, bool is_settle) {
@@ -574,11 +687,9 @@ void Engine::schedule_flush() {
   }
   if (batcher_.flush_scheduled) return;
   batcher_.flush_scheduled = true;
-  scheduler_.at_next_boundary(config_.settlement_epoch_s, [this] {
-    batcher_.flush_scheduled = false;
-    ++metrics_.settlement_flushes;
-    flush_settlements(/*drain=*/true);
-  });
+  scheduler_.at_next_boundary(
+      config_.settlement_epoch_s,
+      sim::EngineEvent{.kind = sim::EngineEvent::Kind::kFlush});
 }
 
 void Engine::flush_settlements(bool drain) {
@@ -630,9 +741,9 @@ void Engine::check_queue_invariant(ChannelId channel, pcn::Direction d) const {
   Amount sum = 0;
   for (const auto& entry : ds.queue) {
     sum += entry.amount;
-    const auto it = live_.find(entry.id);
-    if (it != live_.end() &&
-        it->second.tu.hop_amounts[it->second.tu.next_hop] != entry.amount) {
+    const LiveTu* live = live_.find(entry.id);
+    if (live != nullptr &&
+        live->tu.hop_amounts[live->tu.next_hop] != entry.amount) {
       throw std::logic_error(
           "Engine: queued amount diverged from the TU's hop amount");
     }
@@ -643,10 +754,11 @@ void Engine::check_queue_invariant(ChannelId channel, pcn::Direction d) const {
 }
 
 void Engine::on_payment_deadline(PaymentId id) {
-  deadline_events_.erase(id);  // fired; must never be cancelled afterwards
-  const auto it = states_.find(id);
-  if (it == states_.end()) return;  // payment never arrived (should not happen)
-  auto& state = it->second;
+  PaymentState* state_ptr = states_.find(id);
+  if (state_ptr == nullptr) return;  // never arrived (should not happen)
+  auto& state = *state_ptr;
+  // Fired: the generation counter already invalidated the event id, so a
+  // late cancel_deadline_event is a detected no-op.
   state.deadline_pending = false;
   if (!state.active()) {
     // Per-hop mode resolves payments without cancelling the deadline event

@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <queue>
-#include <unordered_map>
 
 #include "graph/metrics.h"
 
@@ -74,23 +73,23 @@ std::optional<graph::Path> LandmarkRouter::via_landmark(const Engine& engine,
 }
 
 graph::Path LandmarkRouter::prune_loops(const graph::Path& path) {
+  // Landmark paths are a few dozen nodes at most, so a linear scan of the
+  // pruned prefix beats a per-call hash map (called once per candidate
+  // path per payment — hot enough that the map allocation showed up).
   graph::Path pruned;
-  std::unordered_map<NodeId, std::size_t> seen;  // node -> index in pruned.nodes
+  pruned.nodes.reserve(path.nodes.size());
+  pruned.edges.reserve(path.edges.size());
   for (std::size_t i = 0; i < path.nodes.size(); ++i) {
     const NodeId node = path.nodes[i];
-    const auto it = seen.find(node);
-    if (it != seen.end()) {
+    const auto it = std::find(pruned.nodes.begin(), pruned.nodes.end(), node);
+    if (it != pruned.nodes.end()) {
       // Cut the cycle: drop everything after the first occurrence.
-      const std::size_t keep = it->second;
-      for (std::size_t j = keep + 1; j < pruned.nodes.size(); ++j) {
-        seen.erase(pruned.nodes[j]);
-      }
+      const auto keep = static_cast<std::size_t>(it - pruned.nodes.begin());
       pruned.nodes.resize(keep + 1);
       pruned.edges.resize(keep);
     } else {
       if (!pruned.nodes.empty()) pruned.edges.push_back(path.edges[i - 1]);
       pruned.nodes.push_back(node);
-      seen.emplace(node, pruned.nodes.size() - 1);
     }
   }
   pruned.length = static_cast<double>(pruned.edges.size());

@@ -7,6 +7,9 @@ namespace splicer::routing {
 
 void RateRouterBase::on_start(Engine& engine) {
   prices_.assign(engine.network().channel_count(), ChannelPrices{});
+  // channel_price() of the zero-initialised prices is 0 for every
+  // direction, so the flat mirror starts at zero too.
+  price_flat_.assign(2 * engine.network().channel_count(), 0.0);
   // workload_horizon() is queried per tick: for streaming sources it grows
   // as payments are pulled, so price updates keep running until the tail
   // payments' deadlines have passed (replay sources report it exactly from
@@ -25,10 +28,24 @@ void RateRouterBase::on_payment(Engine& engine, const pcn::Payment& payment) {
   if (delay <= 0.0) {
     admit_demand(engine, payment);
   } else {
-    engine.scheduler().after(delay, [this, &engine, payment] {
-      admit_demand(engine, payment);
-    });
+    // Typed deferred admit: the engine's PaymentState holds the payment, so
+    // the timer only needs the id — no per-payment closure allocation.
+    engine.schedule_timer(delay, payment.id, kAdmitTimer);
   }
+}
+
+void RateRouterBase::on_timer(Engine& engine, std::uint64_t a, std::uint64_t b) {
+  if (b == kAdmitTimer) {
+    // Checked lookup: the decision delay can outlive the payment, and a
+    // resolved state may already be evicted (streaming retention contract).
+    const auto* state = engine.find_payment_state(a);
+    if (state == nullptr || !state->active()) return;  // already timed out
+    admit_demand(engine, state->payment);
+    return;
+  }
+  const PairKey pair = unpack_pair(a);
+  pair_state(pair).paths[b].drip_scheduled = false;
+  try_send(engine, pair, b);
 }
 
 void RateRouterBase::admit_demand(Engine& engine, const pcn::Payment& payment) {
@@ -69,13 +86,22 @@ RateRouterBase::PairState* RateRouterBase::ensure_pair(Engine& engine,
           bottleneck, common::to_tokens(engine.network().channel(e).capacity()));
     }
     const double capacity_rate = bottleneck / std::max(config_.delta_rtt_s, 1e-6);
+    path_state.hop_index.reserve(full->edges.size());
+    for (std::size_t i = 0; i < full->edges.size(); ++i) {
+      const ChannelId e = full->edges[i];
+      const auto d = engine.network().channel(e).direction_from(full->nodes[i]);
+      path_state.hop_index.push_back(
+          static_cast<std::uint32_t>(2 * e + pcn::dir_index(d)));
+    }
     path_state.full_path = std::move(*full);
     path_state.rate_tps = std::min(config_.initial_rate_tps, capacity_rate);
     path_state.window = config_.initial_window;
     state.paths.push_back(std::move(path_state));
   }
   if (state.paths.empty()) return nullptr;
-  return &pairs_.emplace(pair, std::move(state)).first->second;
+  PairState* stored = &pairs_.emplace(pair, std::move(state)).first->second;
+  pair_index_.emplace(pack_pair(pair), stored);
+  return stored;
 }
 
 std::vector<graph::Path> RateRouterBase::compute_pair_paths(
@@ -120,6 +146,10 @@ void RateRouterBase::update_prices(Engine& engine) {
     p.mu[1] *= config_.price_decay;
     p.arrived_tokens[0] = 0.0;
     p.arrived_tokens[1] = 0.0;
+    // Mirror into the flat per-direction array read by probes and fee
+    // schedules until the next tick (prices only change here).
+    price_flat_[2 * c] = channel_price(c, pcn::Direction::kForward);
+    price_flat_[2 * c + 1] = channel_price(c, pcn::Direction::kBackward);
   }
 }
 
@@ -130,11 +160,10 @@ double RateRouterBase::channel_price(ChannelId channel, pcn::Direction d) const 
 }
 
 double RateRouterBase::fee_rate(ChannelId channel, pcn::Direction d) const {
-  return std::min(config_.fee_rate_cap, config_.t_fee * channel_price(channel, d));
+  return fee_from_price(channel_price(channel, d));
 }
 
 void RateRouterBase::probe_pairs(Engine& engine) {
-  auto& network = engine.network();
   for (auto& [pair, state] : pairs_) {
     // Probe messages are only sent on paths that carry or await traffic,
     // but the rate state always integrates the latest prices.
@@ -142,14 +171,11 @@ void RateRouterBase::probe_pairs(Engine& engine) {
     for (const auto& path : state.paths) active = active || path.outstanding > 0;
     const double total_rate = std::max(total_pair_rate(state), 1e-9);
     for (auto& path : state.paths) {
-      // Probe: sum xi along the full path (eq. 25).
+      // Probe: sum xi along the full path (eq. 25) — flat-array reads in
+      // the same hop order, so the sum is bit-identical to recomputing
+      // each channel price in place.
       double price = 0.0;
-      for (std::size_t i = 0; i < path.full_path.edges.size(); ++i) {
-        const ChannelId e = path.full_path.edges[i];
-        const auto d =
-            network.channel(e).direction_from(path.full_path.nodes[i]);
-        price += channel_price(e, d);
-      }
+      for (const std::uint32_t idx : path.hop_index) price += price_flat_[idx];
       price *= (1.0 + config_.t_fee);
       path.price = price;
       if (active) engine.counters().probe_messages += path.full_path.edges.size();
@@ -182,20 +208,18 @@ double RateRouterBase::total_pair_rate(const PairState& pair) const {
   return total;
 }
 
-std::vector<Amount> RateRouterBase::fee_schedule(const graph::Path& path,
-                                                 Amount value,
-                                                 const Engine& engine) const {
+std::vector<Amount> RateRouterBase::fee_schedule(const PathState& path,
+                                                 Amount value) const {
   // hop_amounts[i] = value + downstream fees; fees follow eq. (24) with the
-  // current fee rates, charged on the forwarded amount.
-  std::vector<Amount> amounts(path.edges.size());
+  // current fee rates, charged on the forwarded amount. The precomputed
+  // hop_index avoids re-deriving each hop's direction per TU; the flat
+  // price array yields the same fee_rate doubles bit for bit.
+  std::vector<Amount> amounts(path.hop_index.size());
   Amount carry = value;
-  const auto& network = engine.network();
-  for (std::size_t i = path.edges.size(); i-- > 0;) {
+  for (std::size_t i = path.hop_index.size(); i-- > 0;) {
     amounts[i] = carry;
     if (i == 0) break;
-    const ChannelId e = path.edges[i];
-    const auto d = network.channel(e).direction_from(path.nodes[i]);
-    const double rate = fee_rate(e, d);
+    const double rate = fee_from_price(price_flat_[path.hop_index[i]]);
     const auto fee = static_cast<Amount>(
         std::llround(rate * static_cast<double>(carry)));
     carry += std::max<Amount>(fee, 0);
@@ -205,22 +229,21 @@ std::vector<Amount> RateRouterBase::fee_schedule(const graph::Path& path,
 
 void RateRouterBase::schedule_drip(Engine& engine, const PairKey& pair,
                                    std::size_t path_index) {
-  auto& state = pairs_.at(pair);
+  auto& state = pair_state(pair);
   auto& path = state.paths[path_index];
   if (path.drip_scheduled) return;
   if (engine.past_horizon()) return;
   path.drip_scheduled = true;
   const double delay =
       std::max(0.0, path.earliest_send(config_.min_rate_tps) - engine.now());
-  engine.scheduler().after(delay, [this, &engine, pair, path_index] {
-    pairs_.at(pair).paths[path_index].drip_scheduled = false;
-    try_send(engine, pair, path_index);
-  });
+  // Typed drip timer (one per TU send on the hot path): POD fields in the
+  // scheduler pool instead of a heap-allocated closure per drip.
+  engine.schedule_timer(delay, pack_pair(pair), path_index);
 }
 
 void RateRouterBase::try_send(Engine& engine, const PairKey& pair,
                               std::size_t path_index) {
-  auto& state = pairs_.at(pair);
+  auto& state = pair_state(pair);
   auto& path = state.paths[path_index];
   if (engine.past_horizon()) return;
   if (engine.now() + 1e-12 < path.earliest_send(config_.min_rate_tps)) {
@@ -260,7 +283,7 @@ void RateRouterBase::try_send(Engine& engine, const PairKey& pair,
   }
   tu_value = std::max<Amount>(tu_value, 1);
 
-  auto hop_amounts = fee_schedule(path.full_path, tu_value, engine);
+  auto hop_amounts = fee_schedule(path, tu_value);
   if (!admit_tu(engine, path.full_path, hop_amounts)) {
     // Downstream funds are short (F_ab < |d_i|): hold at the source and
     // retry shortly instead of locking a doomed HTLC chain.
@@ -288,7 +311,7 @@ void RateRouterBase::try_send(Engine& engine, const PairKey& pair,
 void RateRouterBase::on_tu_delivered(Engine& engine, const TransactionUnit& tu) {
   const auto it = pair_of_payment_.find(tu.payment);
   if (it == pair_of_payment_.end()) return;
-  auto& state = pairs_.at(it->second);
+  auto& state = pair_state(it->second);
   auto& path = state.paths[tu.path_index];
   if (path.outstanding > 0) --path.outstanding;
   // Eq. (28): window grows by gamma / sum of the pair's windows.
@@ -304,7 +327,7 @@ void RateRouterBase::on_tu_failed(Engine& engine, const TransactionUnit& tu,
   const auto it = pair_of_payment_.find(tu.payment);
   if (it == pair_of_payment_.end()) return;
   const PairKey pair = it->second;
-  auto& state = pairs_.at(pair);
+  auto& state = pair_state(pair);
   auto& path = state.paths[tu.path_index];
   if (path.outstanding > 0) --path.outstanding;
   if (reason == FailReason::kMarkedCongested ||

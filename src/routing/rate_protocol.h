@@ -14,9 +14,12 @@
 // Demands are split into TUs of value in [Min-TU, Max-TU] and dripped onto
 // k paths at the per-path rates; windows bound outstanding TUs per path.
 
+#include <algorithm>
+#include <cstdint>
 #include <deque>
 #include <map>
 #include <optional>
+#include <unordered_map>
 #include <vector>
 
 #include "graph/disjoint_paths.h"
@@ -162,6 +165,11 @@ class RateRouterBase : public Router {
   };
   struct PathState {
     graph::Path full_path;    // client -> ... -> client, ready to send on
+    /// Directed-channel index (2*channel + direction) of every path edge,
+    /// precomputed once at path creation: probes and fee schedules read the
+    /// flat per-tick price array instead of re-deriving the direction and
+    /// chasing the channel record on every visit.
+    std::vector<std::uint32_t> hop_index;
     double rate_tps = 0.0;
     double window = 0.0;
     double price = 0.0;       // rho_p from the latest probe
@@ -190,6 +198,20 @@ class RateRouterBase : public Router {
     std::size_t round_robin_cursor = 0;
   };
 
+  // Typed timer dispatch (Engine::schedule_timer): drip timers pack the
+  // pair endpoints into `a` and the path index into `b`; deferred admits
+  // pack the payment id into `a` and this sentinel into `b`. Path counts
+  // are tiny (k paths per pair), so the sentinel can never collide.
+  static constexpr std::uint64_t kAdmitTimer = ~std::uint64_t{0};
+  [[nodiscard]] static constexpr std::uint64_t pack_pair(PairKey pair) noexcept {
+    return (static_cast<std::uint64_t>(pair.from) << 32) | pair.to;
+  }
+  [[nodiscard]] static constexpr PairKey unpack_pair(std::uint64_t a) noexcept {
+    return PairKey{static_cast<NodeId>(a >> 32),
+                   static_cast<NodeId>(a & 0xffffffffu)};
+  }
+  void on_timer(Engine& engine, std::uint64_t a, std::uint64_t b) override;
+
   void admit_demand(Engine& engine, const pcn::Payment& payment);
   PairState* ensure_pair(Engine& engine, const PairKey& pair);
   void update_prices(Engine& engine);
@@ -197,14 +219,34 @@ class RateRouterBase : public Router {
   void schedule_drip(Engine& engine, const PairKey& pair, std::size_t path_index);
   void try_send(Engine& engine, const PairKey& pair, std::size_t path_index);
   [[nodiscard]] double total_pair_rate(const PairState& pair) const;
-  [[nodiscard]] std::vector<Amount> fee_schedule(const graph::Path& path,
-                                                 Amount value,
-                                                 const Engine& engine) const;
+  [[nodiscard]] std::vector<Amount> fee_schedule(const PathState& path,
+                                                 Amount value) const;
+
+  /// The one fee policy (eq. 24's rate term): shared by the public
+  /// fee_rate() and the flat-array fee schedule so the formula can never
+  /// diverge between the two data sources.
+  [[nodiscard]] double fee_from_price(double price) const noexcept {
+    return std::min(config_.fee_rate_cap, config_.t_fee * price);
+  }
+
+  /// O(1) pair lookup for the per-TU paths (drips, sends, delivery acks).
+  /// pairs_ stays an ordered map because probe_pairs' iteration order
+  /// schedules drip events — it must remain the sorted order the frozen
+  /// event stream was recorded with; its nodes are pointer-stable, so the
+  /// index can hold plain pointers.
+  [[nodiscard]] PairState& pair_state(const PairKey& pair) {
+    return *pair_index_.at(pack_pair(pair));
+  }
 
   RateProtocolConfig config_;
   std::vector<ChannelPrices> prices_;
+  /// channel_price() of every directed channel, refreshed by update_prices
+  /// each tick (prices only change there): probe/fee sums become flat-array
+  /// reads, bit-identical to recomputing the price per visit.
+  std::vector<double> price_flat_;
   std::map<PairKey, PairState> pairs_;
-  std::map<PaymentId, PairKey> pair_of_payment_;
+  std::unordered_map<std::uint64_t, PairState*> pair_index_;
+  std::unordered_map<PaymentId, PairKey> pair_of_payment_;
 };
 
 }  // namespace splicer::routing

@@ -100,6 +100,10 @@ class Router {
 
   /// A TU locked funds on (channel, direction); rate-based routers
   /// accumulate the per-direction arrival counters m_a here (eq. 22).
+  /// `tu` refers into the engine's slab store: do NOT call
+  /// Engine::send_tu from this hook (a slab grow may relocate the
+  /// referenced TU). on_tu_delivered/on_tu_failed receive stable copies
+  /// and are the places to dispatch follow-up TUs.
   virtual void on_tu_forwarded(Engine& engine, const TransactionUnit& tu,
                                ChannelId channel, pcn::Direction direction) {
     (void)engine;
@@ -112,6 +116,17 @@ class Router {
   virtual void on_payment_timeout(Engine& engine, PaymentId payment) {
     (void)engine;
     (void)payment;
+  }
+
+  /// A timer armed through Engine::schedule_timer fired. `a` and `b` carry
+  /// whatever the router packed when arming — the typed hot-path
+  /// alternative to capturing lambdas for per-TU timers (pacing drips,
+  /// deferred admits): a POD event in the scheduler pool instead of a
+  /// heap-allocated closure.
+  virtual void on_timer(Engine& engine, std::uint64_t a, std::uint64_t b) {
+    (void)engine;
+    (void)a;
+    (void)b;
   }
 };
 

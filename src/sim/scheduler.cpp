@@ -1,34 +1,95 @@
 #include "sim/scheduler.h"
 
+#include <algorithm>
 #include <cmath>
 #include <stdexcept>
 #include <utility>
 
 namespace splicer::sim {
 
-Scheduler::EventId Scheduler::at(Time when, Callback callback) {
-  const EventId id = next_id_++;
-  queue_.push(Event{when < now_ ? now_ : when, id, std::move(callback)});
-  ++live_count_;
-  return id;
+std::uint32_t Scheduler::acquire_node(Time when) {
+  std::uint32_t slot;
+  if (free_head_ != kNullIndex) {
+    slot = free_head_;
+    free_head_ = pool_[slot].next_free;
+    pool_[slot].next_free = kNullIndex;
+  } else {
+    slot = static_cast<std::uint32_t>(pool_.size());
+    pool_.emplace_back();
+  }
+  Node& node = pool_[slot];
+  node.when = when < now_ ? now_ : when;
+  node.seq = next_seq_++;
+  return slot;
 }
 
-Scheduler::EventId Scheduler::at_next_boundary(Time period, Callback callback) {
+void Scheduler::release_node(std::uint32_t slot) {
+  Node& node = pool_[slot];
+  ++node.generation;  // invalidate outstanding EventIds for this slot
+  node.heap_pos = kNullIndex;
+  node.event = EngineEvent{};
+  node.callback = nullptr;
+  node.next_free = free_head_;
+  free_head_ = slot;
+}
+
+Scheduler::EventId Scheduler::at(Time when, Callback callback) {
+  const std::uint32_t slot = acquire_node(when);
+  pool_[slot].callback = std::move(callback);
+  heap_push(slot);
+  return (static_cast<EventId>(pool_[slot].generation) << 32) | slot;
+}
+
+Scheduler::EventId Scheduler::at(Time when, const EngineEvent& event) {
+  if (sink_ == nullptr) {
+    throw std::logic_error("Scheduler: typed event scheduled without a sink");
+  }
+  if (event.kind == EngineEvent::Kind::kNone) {
+    // kNone is the pool's "this node carries a callback" discriminator;
+    // letting it through would mis-route the event to the (empty) callback
+    // branch at fire time — reject at the scheduling site instead.
+    throw std::invalid_argument("Scheduler: typed event with kind kNone");
+  }
+  const std::uint32_t slot = acquire_node(when);
+  pool_[slot].event = event;
+  heap_push(slot);
+  return (static_cast<EventId>(pool_[slot].generation) << 32) | slot;
+}
+
+namespace {
+[[nodiscard]] Time next_boundary_after(Time now, Time period) {
   if (period <= 0) {
     throw std::invalid_argument("Scheduler::at_next_boundary: period <= 0");
   }
   // Strictly after now: a flush that runs exactly on boundary k*period and
   // generates new work must coalesce that work onto boundary (k+1)*period.
-  Time when = (std::floor(now_ / period) + 1.0) * period;
-  while (when <= now_) when += period;  // guard against rounding at huge t/period
-  return at(when, std::move(callback));
+  Time when = (std::floor(now / period) + 1.0) * period;
+  while (when <= now) when += period;  // guard against rounding at huge t/period
+  return when;
+}
+}  // namespace
+
+Scheduler::EventId Scheduler::at_next_boundary(Time period, Callback callback) {
+  return at(next_boundary_after(now_, period), std::move(callback));
+}
+
+Scheduler::EventId Scheduler::at_next_boundary(Time period,
+                                               const EngineEvent& event) {
+  return at(next_boundary_after(now_, period), event);
 }
 
 bool Scheduler::cancel(EventId id) {
-  if (id == 0 || id >= next_id_) return false;
-  const bool inserted = cancelled_.insert(id).second;
-  if (inserted && live_count_ > 0) --live_count_;
-  return inserted;
+  const std::uint32_t slot = slot_of(id);
+  if (slot >= pool_.size()) return false;
+  Node& node = pool_[slot];
+  // A stale generation (or a free slot) means the event already fired or
+  // was cancelled: report failure without touching any accounting.
+  if (node.generation != generation_of(id) || node.heap_pos == kNullIndex) {
+    return false;
+  }
+  heap_remove(node.heap_pos);
+  release_node(slot);
+  return true;
 }
 
 void Scheduler::every(Time period, std::function<bool()> callback) {
@@ -38,32 +99,83 @@ void Scheduler::every(Time period, std::function<bool()> callback) {
 }
 
 bool Scheduler::step() {
-  while (!queue_.empty()) {
-    // priority_queue::top is const; move via const_cast is the standard
-    // workaround and safe because we pop immediately.
-    Event event = std::move(const_cast<Event&>(queue_.top()));
-    queue_.pop();
-    const auto it = cancelled_.find(event.id);
-    if (it != cancelled_.end()) {
-      cancelled_.erase(it);
-      continue;  // skip cancelled without counting it as executed
-    }
-    --live_count_;
-    now_ = event.when;
-    event.callback();
-    return true;
+  if (heap_.empty()) return false;
+  const std::uint32_t slot = heap_[0].slot;
+  Node& node = pool_[slot];
+  now_ = node.when;
+  // Copy the payload out before releasing: the handler may schedule new
+  // events, which can recycle this slot or grow the pool.
+  const EngineEvent event = node.event;
+  Callback callback = std::move(node.callback);
+  heap_remove(0);
+  release_node(slot);
+  if (event.kind == EngineEvent::Kind::kNone) {
+    callback();  // empty callbacks throw bad_function_call, as before
+  } else {
+    sink_->handle_event(event);
   }
-  return false;
+  return true;
 }
 
 std::size_t Scheduler::run(Time until, std::size_t max_events) {
   std::size_t executed = 0;
-  while (executed < max_events && !queue_.empty()) {
-    // Peek next live event time without executing past `until`.
-    if (queue_.top().when > until) break;
+  while (executed < max_events && !heap_.empty()) {
+    if (heap_[0].when > until) break;
     if (step()) ++executed;
   }
   return executed;
+}
+
+void Scheduler::heap_push(std::uint32_t slot) {
+  const Node& node = pool_[slot];
+  pool_[slot].heap_pos = static_cast<std::uint32_t>(heap_.size());
+  heap_.push_back(HeapEntry{node.when, node.seq, slot});
+  sift_up(pool_[slot].heap_pos);
+}
+
+void Scheduler::heap_remove(std::uint32_t pos) {
+  const HeapEntry last = heap_.back();
+  heap_.pop_back();
+  if (pos == heap_.size()) return;  // removed the tail entry
+  heap_[pos] = last;
+  pool_[last.slot].heap_pos = pos;
+  // The moved entry may violate the heap property in either direction.
+  sift_down(pos);
+  sift_up(pool_[last.slot].heap_pos);
+}
+
+void Scheduler::sift_up(std::uint32_t pos) {
+  const HeapEntry entry = heap_[pos];
+  while (pos > 0) {
+    const std::uint32_t parent = (pos - 1) / 4;
+    if (!fires_before(entry, heap_[parent])) break;
+    heap_[pos] = heap_[parent];
+    pool_[heap_[pos].slot].heap_pos = pos;
+    pos = parent;
+  }
+  heap_[pos] = entry;
+  pool_[entry.slot].heap_pos = pos;
+}
+
+void Scheduler::sift_down(std::uint32_t pos) {
+  const HeapEntry entry = heap_[pos];
+  const std::uint32_t size = static_cast<std::uint32_t>(heap_.size());
+  for (;;) {
+    const std::uint32_t first_child = pos * 4 + 1;
+    if (first_child >= size) break;
+    std::uint32_t best = first_child;
+    const std::uint32_t last_child =
+        std::min(first_child + 3, size - 1);
+    for (std::uint32_t c = first_child + 1; c <= last_child; ++c) {
+      if (fires_before(heap_[c], heap_[best])) best = c;
+    }
+    if (!fires_before(heap_[best], entry)) break;
+    heap_[pos] = heap_[best];
+    pool_[heap_[pos].slot].heap_pos = pos;
+    pos = best;
+  }
+  heap_[pos] = entry;
+  pool_[entry.slot].heap_pos = pos;
 }
 
 }  // namespace splicer::sim

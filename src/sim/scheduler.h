@@ -5,12 +5,21 @@
 // runs are bit-reproducible given the same seed and call sequence. This is
 // the substitute substrate for the paper's LND-testnet deployment (see
 // DESIGN.md substitution table).
+//
+// Hot-path representation: events live in a free-list pool (stable slots,
+// no per-event allocation) and are ordered by an index-based 4-ary min-heap
+// that moves 4-byte slot indices instead of whole event records. An event
+// is either a typed EngineEvent (dispatched through the registered
+// EventSink) or a std::function fallback for low-frequency work. EventIds
+// encode (slot, generation), so cancel() removes the event from the heap
+// eagerly — no tombstone set to sift through, and cancelling an
+// already-fired id is a detected no-op (the generation has moved on).
 
 #include <cstdint>
 #include <functional>
-#include <queue>
-#include <unordered_set>
 #include <vector>
+
+#include "sim/engine_event.h"
 
 namespace splicer::sim {
 
@@ -23,28 +32,39 @@ class Scheduler {
 
   [[nodiscard]] Time now() const noexcept { return now_; }
 
+  /// Registers the typed-event receiver. Required before scheduling any
+  /// EngineEvent; fallback callbacks work without one.
+  void set_sink(EventSink* sink) noexcept { sink_ = sink; }
+
   /// Schedules at absolute time (clamped to now if in the past).
   EventId at(Time when, Callback callback);
+  EventId at(Time when, const EngineEvent& event);
 
   /// Schedules `delay` seconds from now (delay < 0 clamps to 0).
   EventId after(Time delay, Callback callback) {
     return at(now_ + delay, std::move(callback));
+  }
+  EventId after(Time delay, const EngineEvent& event) {
+    return at(now_ + delay, event);
   }
 
   /// Schedules at the next strict multiple of `period` after now — the
   /// coalescing point for per-epoch batched work: every request made inside
   /// one epoch lands on the same boundary timestamp. period must be > 0.
   EventId at_next_boundary(Time period, Callback callback);
+  EventId at_next_boundary(Time period, const EngineEvent& event);
 
   /// Cancels a pending event; returns false if already fired/cancelled.
+  /// Eager: the event leaves the heap immediately and its pool slot is
+  /// recycled (the slot's generation counter invalidates the old id).
   bool cancel(EventId id);
 
   /// Schedules `callback` every `period` seconds starting at now+period,
   /// until it returns false.
   void every(Time period, std::function<bool()> callback);
 
-  [[nodiscard]] bool empty() const noexcept { return live_count_ == 0; }
-  [[nodiscard]] std::size_t pending() const noexcept { return live_count_; }
+  [[nodiscard]] bool empty() const noexcept { return heap_.empty(); }
+  [[nodiscard]] std::size_t pending() const noexcept { return heap_.size(); }
 
   /// Executes the next event; returns false if none remain.
   bool step();
@@ -57,23 +77,57 @@ class Scheduler {
   static constexpr std::size_t kUnlimited = ~std::size_t{0};
 
  private:
-  struct Event {
-    Time when;
-    EventId id;
-    Callback callback;
-  };
-  struct Later {
-    bool operator()(const Event& a, const Event& b) const {
-      if (a.when != b.when) return a.when > b.when;
-      return a.id > b.id;
-    }
+  static constexpr std::uint32_t kNullIndex = 0xffffffffu;
+
+  struct Node {
+    Time when = 0.0;
+    std::uint64_t seq = 0;           // (when, seq) is the firing order
+    std::uint32_t generation = 1;    // bumped on release; validates EventIds
+    std::uint32_t heap_pos = kNullIndex;  // kNullIndex when free
+    std::uint32_t next_free = kNullIndex;
+    EngineEvent event;
+    Callback callback;  // non-empty = fallback dispatch
   };
 
+  [[nodiscard]] static constexpr std::uint32_t slot_of(EventId id) noexcept {
+    return static_cast<std::uint32_t>(id);
+  }
+  [[nodiscard]] static constexpr std::uint32_t generation_of(EventId id) noexcept {
+    return static_cast<std::uint32_t>(id >> 32);
+  }
+
+  /// Pops a pool slot (growing the pool if the free list is empty) and
+  /// stamps it with `when` and the next sequence number.
+  std::uint32_t acquire_node(Time when);
+  /// Returns a slot to the free list; bumps its generation so any EventId
+  /// still pointing at it is detected as stale.
+  void release_node(std::uint32_t slot);
+
+  /// Heap entry with the ordering key inlined: sift comparisons stay in the
+  /// contiguous heap array instead of chasing pool nodes per comparison.
+  struct HeapEntry {
+    Time when;
+    std::uint64_t seq;
+    std::uint32_t slot;
+  };
+
+  [[nodiscard]] static bool fires_before(const HeapEntry& a,
+                                         const HeapEntry& b) noexcept {
+    if (a.when != b.when) return a.when < b.when;
+    return a.seq < b.seq;
+  }
+
+  void heap_push(std::uint32_t slot);
+  void heap_remove(std::uint32_t pos);
+  void sift_up(std::uint32_t pos);
+  void sift_down(std::uint32_t pos);
+
   Time now_ = 0.0;
-  EventId next_id_ = 1;
-  std::size_t live_count_ = 0;
-  std::priority_queue<Event, std::vector<Event>, Later> queue_;
-  std::unordered_set<EventId> cancelled_;  // lazily dropped on pop
+  std::uint64_t next_seq_ = 1;
+  EventSink* sink_ = nullptr;
+  std::vector<Node> pool_;
+  std::uint32_t free_head_ = kNullIndex;
+  std::vector<HeapEntry> heap_;  // 4-ary min-heap keyed by (when, seq)
 };
 
 }  // namespace splicer::sim

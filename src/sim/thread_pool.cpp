@@ -40,11 +40,11 @@ ThreadPool::~ThreadPool() {
   }
 }
 
-void ThreadPool::submit(std::function<void()> task) {
+void ThreadPool::submit(Task task) {
   submit_to(next_shard_.fetch_add(1, std::memory_order_relaxed), std::move(task));
 }
 
-void ThreadPool::submit_to(std::size_t shard_index, std::function<void()> task) {
+void ThreadPool::submit_to(std::size_t shard_index, Task task) {
   Shard& shard = *shards_[shard_index % shards_.size()];
   {
     std::lock_guard lock(done_mutex_);
@@ -67,27 +67,13 @@ void ThreadPool::wait() {
   }
 }
 
-void ThreadPool::parallel_for(std::size_t n,
-                              const std::function<void(std::size_t)>& body) {
-  const std::size_t workers = thread_count();
-  for (std::size_t s = 0; s < workers; ++s) {
-    const std::size_t begin = n * s / workers;
-    const std::size_t end = n * (s + 1) / workers;
-    if (begin == end) continue;
-    submit_to(s, [&body, begin, end] {
-      for (std::size_t i = begin; i < end; ++i) body(i);
-    });
-  }
-  wait();
-}
-
 int ThreadPool::current_shard() noexcept { return t_shard; }
 
 void ThreadPool::worker_loop(std::size_t shard_index) {
   t_shard = static_cast<int>(shard_index);
   Shard& shard = *shards_[shard_index];
   for (;;) {
-    std::function<void()> task;
+    Task task;
     {
       std::unique_lock lock(shard.mutex);
       shard.ready.wait(lock, [&] {

@@ -20,16 +20,22 @@
 #include <cstddef>
 #include <deque>
 #include <exception>
-#include <functional>
 #include <memory>
 #include <mutex>
 #include <thread>
 #include <vector>
 
+#include "common/small_function.h"
+
 namespace splicer::sim {
 
 class ThreadPool {
  public:
+  /// Task type: move-only with small-buffer storage, so a submission whose
+  /// captures fit the inline buffer costs no allocation (std::function
+  /// heap-allocates anything past 16 bytes and forbids move-only captures).
+  using Task = common::SmallFunction<void()>;
+
   /// Spawns `threads` workers; 0 means one per hardware thread.
   explicit ThreadPool(std::size_t threads = 0);
 
@@ -45,11 +51,11 @@ class ThreadPool {
   }
 
   /// Enqueues a task on the next shard (round-robin over workers).
-  void submit(std::function<void()> task);
+  void submit(Task task);
 
   /// Enqueues a task on a specific shard; `shard` is taken modulo
   /// `thread_count()` so callers can use any stable integer key.
-  void submit_to(std::size_t shard, std::function<void()> task);
+  void submit_to(std::size_t shard, Task task);
 
   /// Blocks until every submitted task has finished. If any task threw, the
   /// first captured exception is rethrown here and the rest are discarded.
@@ -57,7 +63,21 @@ class ThreadPool {
 
   /// Runs `body(i)` for every i in [0, n), sharded into `thread_count()`
   /// contiguous blocks. Blocks until done (exceptions as in `wait()`).
-  void parallel_for(std::size_t n, const std::function<void(std::size_t)>& body);
+  /// `body` is captured by reference (it outlives the call) — no
+  /// type-erasure wrapper, no per-shard allocation.
+  template <typename F>
+  void parallel_for(std::size_t n, F&& body) {
+    const std::size_t workers = thread_count();
+    for (std::size_t s = 0; s < workers; ++s) {
+      const std::size_t begin = n * s / workers;
+      const std::size_t end = n * (s + 1) / workers;
+      if (begin == end) continue;
+      submit_to(s, [&body, begin, end] {
+        for (std::size_t i = begin; i < end; ++i) body(i);
+      });
+    }
+    wait();
+  }
 
   /// Shard index of the calling worker thread, or -1 off-pool.
   [[nodiscard]] static int current_shard() noexcept;
@@ -66,7 +86,7 @@ class ThreadPool {
   struct Shard {
     std::mutex mutex;
     std::condition_variable ready;
-    std::deque<std::function<void()>> queue;
+    std::deque<Task> queue;
     std::thread worker;
   };
 

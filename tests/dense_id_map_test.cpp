@@ -1,0 +1,120 @@
+#include "common/dense_id_map.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+namespace splicer::common {
+namespace {
+
+TEST(DenseIdMap, EmplaceFindErase) {
+  DenseIdMap<std::string> map;
+  EXPECT_TRUE(map.empty());
+  EXPECT_EQ(map.find(1), nullptr);
+
+  auto [a, inserted] = map.emplace(1, "one");
+  EXPECT_TRUE(inserted);
+  EXPECT_EQ(*a, "one");
+  EXPECT_EQ(map.size(), 1u);
+  ASSERT_NE(map.find(1), nullptr);
+  EXPECT_EQ(*map.find(1), "one");
+  EXPECT_EQ(map.at(1), "one");
+
+  EXPECT_TRUE(map.erase(1));
+  EXPECT_FALSE(map.erase(1));
+  EXPECT_EQ(map.find(1), nullptr);
+  EXPECT_TRUE(map.empty());
+  EXPECT_THROW((void)map.at(1), std::out_of_range);
+}
+
+TEST(DenseIdMap, DuplicateEmplaceKeepsExisting) {
+  DenseIdMap<int> map;
+  map.emplace(5, 50);
+  auto [value, inserted] = map.emplace(5, 99);
+  EXPECT_FALSE(inserted);
+  EXPECT_EQ(*value, 50);
+  EXPECT_EQ(map.size(), 1u);
+}
+
+TEST(DenseIdMap, WindowSlidesAsOldIdsErase) {
+  // Sequential insert + in-order erase is the streaming-engine pattern: the
+  // window must stay at the live-entry width, not grow with ids ever seen.
+  DenseIdMap<int> map;
+  for (std::uint64_t id = 1; id <= 10000; ++id) {
+    map.emplace(id, static_cast<int>(id));
+    if (id > 8) {
+      EXPECT_TRUE(map.erase(id - 8));
+    }
+    ASSERT_LE(map.size(), 8u);
+  }
+  // Only the tail window remains reachable.
+  EXPECT_EQ(map.find(9000), nullptr);
+  ASSERT_NE(map.find(9999), nullptr);
+  EXPECT_EQ(*map.find(9999), 9999);
+}
+
+TEST(DenseIdMap, OutOfOrderInsertBelowBase) {
+  DenseIdMap<int> map;
+  map.emplace(100, 1);
+  map.emplace(97, 2);  // extends the window downwards
+  ASSERT_NE(map.find(97), nullptr);
+  EXPECT_EQ(*map.find(97), 2);
+  EXPECT_EQ(*map.find(100), 1);
+  EXPECT_EQ(map.find(98), nullptr);  // gap stays empty
+  EXPECT_EQ(map.size(), 2u);
+}
+
+TEST(DenseIdMap, ReanchorsAfterWindowDrains) {
+  DenseIdMap<int> map;
+  map.emplace(1, 1);
+  map.erase(1);
+  // A far-away id after a full drain must not span the dead gap.
+  map.emplace(1'000'000, 7);
+  ASSERT_NE(map.find(1'000'000), nullptr);
+  EXPECT_EQ(*map.find(1'000'000), 7);
+  EXPECT_EQ(map.find(1), nullptr);
+  EXPECT_EQ(map.size(), 1u);
+}
+
+TEST(DenseIdMap, GrowthPreservesEntriesAndGaps) {
+  DenseIdMap<int> map;
+  for (std::uint64_t id = 10; id < 10 + 100; id += 2) {
+    map.emplace(id, static_cast<int>(id));
+  }
+  EXPECT_EQ(map.size(), 50u);
+  for (std::uint64_t id = 10; id < 10 + 100; ++id) {
+    if (id % 2 == 0) {
+      ASSERT_NE(map.find(id), nullptr) << id;
+      EXPECT_EQ(*map.find(id), static_cast<int>(id));
+    } else {
+      EXPECT_EQ(map.find(id), nullptr) << id;
+    }
+  }
+}
+
+TEST(DenseIdMap, RejectsPathologicallySparseIds) {
+  // The map is for dense sequential ids; a gap that would force an O(gap)
+  // ring must throw instead of OOMing (or wrapping the growth loop).
+  DenseIdMap<int> map;
+  map.emplace(1, 1);
+  EXPECT_THROW(map.emplace(std::uint64_t{1} << 40, 2), std::length_error);
+  EXPECT_THROW(map.emplace(~std::uint64_t{0}, 3), std::length_error);
+  // The failed inserts left the map untouched.
+  EXPECT_EQ(map.size(), 1u);
+  EXPECT_EQ(*map.find(1), 1);
+}
+
+TEST(DenseIdMap, EraseFreesHeldResources) {
+  DenseIdMap<std::shared_ptr<int>> map;
+  auto value = std::make_shared<int>(42);
+  map.emplace(3, value);
+  EXPECT_EQ(value.use_count(), 2);
+  map.emplace(4, nullptr);  // keeps the window alive past id 3
+  EXPECT_TRUE(map.erase(3));
+  // The slot is reset on erase, not on window reuse.
+  EXPECT_EQ(value.use_count(), 1);
+}
+
+}  // namespace
+}  // namespace splicer::common

@@ -319,6 +319,47 @@ TEST(Engine, BatchedModeProcessesFewerEvents) {
   EXPECT_LT(batched.scheduler_events, per_hop.scheduler_events);
 }
 
+TEST(Engine, ArrivalTickQuantisesSameInstant) {
+  // The batched-mode arrival buckets coalesce on an integer nanosecond
+  // key, never on a raw double. Two computations of "the same instant"
+  // that differ in the last bit must land in the same bucket...
+  const double a = 0.1 + 0.2;  // 0.30000000000000004
+  const double b = 0.3;
+  EXPECT_NE(a, b);  // the raw doubles differ — a double-keyed map splits them
+  EXPECT_EQ(Engine::arrival_tick(a), Engine::arrival_tick(b));
+  // ...identical doubles trivially share a key...
+  EXPECT_EQ(Engine::arrival_tick(0.015), Engine::arrival_tick(0.005 * 3));
+  // ...and genuinely distinct instants (>= 1 ns apart) must not merge.
+  EXPECT_NE(Engine::arrival_tick(0.015), Engine::arrival_tick(0.015 + 2e-9));
+  EXPECT_NE(Engine::arrival_tick(1.0), Engine::arrival_tick(1.0 + 1e-8));
+}
+
+TEST(Engine, BatchedModeCoalescesSameInstantArrivals) {
+  // Two TUs dispatched at the same instant take one shared arrival event
+  // per hop in batched mode: the batched run must execute strictly fewer
+  // scheduler events than twice a single-TU run's arrival share.
+  const auto run_with = [](std::size_t tus) {
+    auto net = line_network(whole_tokens(1000));
+    ScriptedRouter router([tus](Engine& engine, const pcn::Payment& p) {
+      for (std::size_t i = 0; i < tus; ++i) {
+        engine.send_tu(two_hop_tu(engine.network(), p.id,
+                                  p.value / static_cast<Amount>(tus)));
+      }
+    });
+    EngineConfig config;
+    config.settlement_epoch_s = 0.05;
+    Engine engine(std::move(net), {make_payment(1, 0, 2, whole_tokens(4))},
+                  router, config);
+    return engine.run();
+  };
+  const auto one = run_with(1);
+  const auto two = run_with(2);
+  EXPECT_EQ(two.payments_completed, 1u);
+  // Same-instant hop arrivals of the second TU ride the first TU's events:
+  // the event count must grow by less than the single-TU arrival cost.
+  EXPECT_LT(two.scheduler_events, 2 * one.scheduler_events);
+}
+
 TEST(Engine, MetricsCountsGeneratedAndValue) {
   auto net = line_network();
   ScriptedRouter router([](Engine&, const pcn::Payment&) {});

@@ -2,11 +2,23 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <stdexcept>
 #include <vector>
 
+#include "common/rng.h"
+
 namespace splicer::sim {
 namespace {
+
+/// Records every typed event it receives, in dispatch order.
+class RecordingSink final : public EventSink {
+ public:
+  void handle_event(const EngineEvent& event) override {
+    events.push_back(event);
+  }
+  std::vector<EngineEvent> events;
+};
 
 TEST(Scheduler, FiresInTimeOrder) {
   Scheduler s;
@@ -173,6 +185,157 @@ TEST(Scheduler, EventsScheduledDuringRunExecute) {
   s.at(2.0, [&] { order.push_back(3); });
   s.run();
   EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+// ---- Typed pooled events ---------------------------------------------------
+
+TEST(Scheduler, TypedEventsDispatchThroughSinkInOrder) {
+  Scheduler s;
+  RecordingSink sink;
+  s.set_sink(&sink);
+  s.at(2.0, EngineEvent{.kind = EngineEvent::Kind::kArriveNext,
+                        .channel = 7,
+                        .aux = 1,
+                        .a = 42});
+  s.at(1.0, EngineEvent{.kind = EngineEvent::Kind::kAttemptHop, .a = 9});
+  s.after(0.5, EngineEvent{.kind = EngineEvent::Kind::kDeadline, .a = 3});
+  s.run();
+  ASSERT_EQ(sink.events.size(), 3u);
+  EXPECT_EQ(sink.events[0].kind, EngineEvent::Kind::kDeadline);
+  EXPECT_EQ(sink.events[0].a, 3u);
+  EXPECT_EQ(sink.events[1].kind, EngineEvent::Kind::kAttemptHop);
+  EXPECT_EQ(sink.events[2].kind, EngineEvent::Kind::kArriveNext);
+  EXPECT_EQ(sink.events[2].channel, 7u);
+  EXPECT_EQ(sink.events[2].aux, 1u);
+  EXPECT_EQ(sink.events[2].a, 42u);
+}
+
+TEST(Scheduler, TypedEventWithoutSinkThrows) {
+  Scheduler s;
+  EXPECT_THROW(s.at(1.0, EngineEvent{.kind = EngineEvent::Kind::kFlush}),
+               std::logic_error);
+}
+
+TEST(Scheduler, TypedEventWithKindNoneIsRejectedAtScheduleTime) {
+  // kNone discriminates callback nodes in the pool; a typed kNone event
+  // would mis-dispatch at fire time, so it must fail loudly up front.
+  Scheduler s;
+  RecordingSink sink;
+  s.set_sink(&sink);
+  EXPECT_THROW(s.at(1.0, EngineEvent{}), std::invalid_argument);
+  EXPECT_TRUE(s.empty());
+}
+
+TEST(Scheduler, TypedAndCallbackEventsInterleaveInTimeOrder) {
+  Scheduler s;
+  RecordingSink sink;
+  s.set_sink(&sink);
+  std::vector<int> order;
+  s.at(1.0, [&] { order.push_back(1); });
+  s.at(2.0, EngineEvent{.kind = EngineEvent::Kind::kFlush});
+  s.at(3.0, [&] { order.push_back(3); });
+  s.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 3}));
+  ASSERT_EQ(sink.events.size(), 1u);
+}
+
+// ---- Eager cancellation / pool generations ---------------------------------
+
+TEST(Scheduler, CancelAfterFireReturnsFalseAndKeepsAccounting) {
+  // Regression: the tombstone scheduler accepted a cancel() of an already-
+  // fired id, inserting a never-collected tombstone and corrupting
+  // pending()/empty(). The generation counter now detects it.
+  Scheduler s;
+  const auto fired = s.at(1.0, [] {});
+  s.at(2.0, [] {});
+  EXPECT_TRUE(s.step());  // fires the first event
+  EXPECT_FALSE(s.cancel(fired));
+  EXPECT_EQ(s.pending(), 1u);  // untouched by the stale cancel
+  EXPECT_FALSE(s.empty());
+  EXPECT_EQ(s.run(), 1u);
+  EXPECT_TRUE(s.empty());
+  EXPECT_EQ(s.pending(), 0u);
+}
+
+TEST(Scheduler, GenerationReuseInvalidatesOldIds) {
+  Scheduler s;
+  int fired = 0;
+  const auto first = s.at(1.0, [&] { ++fired; });
+  EXPECT_TRUE(s.cancel(first));
+  // The pool slot is recycled; the old id must not cancel the new event.
+  const auto second = s.at(1.0, [&] { ++fired; });
+  EXPECT_NE(first, second);
+  EXPECT_FALSE(s.cancel(first));
+  EXPECT_EQ(s.pending(), 1u);
+  s.run();
+  EXPECT_EQ(fired, 1);
+  EXPECT_FALSE(s.cancel(second));  // fired: detected stale
+}
+
+TEST(Scheduler, CancelRemovesEagerly) {
+  Scheduler s;
+  std::vector<Scheduler::EventId> ids;
+  for (int i = 0; i < 10; ++i) ids.push_back(s.at(1.0 + i, [] {}));
+  // Cancel from the middle of the heap; pending must track exactly.
+  EXPECT_TRUE(s.cancel(ids[4]));
+  EXPECT_TRUE(s.cancel(ids[9]));
+  EXPECT_TRUE(s.cancel(ids[0]));
+  EXPECT_EQ(s.pending(), 7u);
+  EXPECT_EQ(s.run(), 7u);
+  EXPECT_TRUE(s.empty());
+}
+
+TEST(Scheduler, DrainWithInterleavedCancelsIsDeterministic) {
+  // The same schedule/cancel/step sequence must produce the identical
+  // firing order on independent schedulers (the substrate of the N-thread
+  // ParallelRunner bit-identity guarantee).
+  const auto run_once = [] {
+    Scheduler s;
+    common::Rng rng(1234);
+    std::vector<std::uint64_t> fired;
+    std::vector<Scheduler::EventId> live;
+    for (int round = 0; round < 50; ++round) {
+      for (int i = 0; i < 20; ++i) {
+        const double when = rng.uniform(0.0, 100.0);
+        const std::uint64_t tag =
+            static_cast<std::uint64_t>(round) * 100 + static_cast<std::uint64_t>(i);
+        live.push_back(s.at(when, [&fired, tag] { fired.push_back(tag); }));
+      }
+      // Cancel a random half of the still-known ids (stale ones no-op).
+      for (int i = 0; i < 10; ++i) {
+        s.cancel(live[rng.index(live.size())]);
+      }
+      s.run(Scheduler::kForever, 5);  // interleave partial drains
+    }
+    s.run();
+    return fired;
+  };
+  const auto a = run_once();
+  const auto b = run_once();
+  EXPECT_FALSE(a.empty());
+  EXPECT_EQ(a, b);
+}
+
+TEST(Scheduler, PoolStressReusesSlotsConsistently) {
+  // ASan food for the free list: heavy schedule/cancel/fire churn over a
+  // small time window forces constant slot recycling and heap growth.
+  Scheduler s;
+  common::Rng rng(99);
+  std::vector<Scheduler::EventId> ids;
+  std::size_t fired = 0;
+  std::size_t cancelled = 0;
+  for (int round = 0; round < 200; ++round) {
+    for (int i = 0; i < 50; ++i) {
+      ids.push_back(s.after(rng.uniform(0.0, 2.0), [&] { ++fired; }));
+    }
+    for (int i = 0; i < 25; ++i) {
+      if (s.cancel(ids[rng.index(ids.size())])) ++cancelled;
+    }
+    s.run(s.now() + 0.5);
+  }
+  s.run();
+  EXPECT_EQ(fired + cancelled, 200u * 50u);
+  EXPECT_TRUE(s.empty());
 }
 
 }  // namespace

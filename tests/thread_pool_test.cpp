@@ -2,9 +2,13 @@
 
 #include <gtest/gtest.h>
 
+#include <array>
 #include <atomic>
+#include <cstdint>
+#include <memory>
 #include <set>
 #include <stdexcept>
+#include <utility>
 #include <vector>
 
 namespace splicer::sim {
@@ -122,6 +126,59 @@ TEST(ThreadPool, DestructorDrainsOutstandingWork) {
     // no wait(): the destructor must drain before joining
   }
   EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPool, AcceptsMoveOnlyTasks) {
+  // The small-buffer task type must carry move-only captures, which
+  // std::function rejected (one reason every submission heap-allocated).
+  ThreadPool pool(2);
+  std::atomic<int> sum{0};
+  for (int i = 1; i <= 10; ++i) {
+    auto owned = std::make_unique<int>(i);
+    pool.submit([&sum, owned = std::move(owned)] { sum += *owned; });
+  }
+  pool.wait();
+  EXPECT_EQ(sum.load(), 55);
+}
+
+TEST(SmallFunction, InlineAndBoxedTargetsBehaveIdentically) {
+  // Small capture: fits the inline buffer.
+  int hits = 0;
+  common::SmallFunction<void()> small = [&hits] { ++hits; };
+  EXPECT_TRUE(static_cast<bool>(small));
+  small();
+  EXPECT_EQ(hits, 1);
+
+  // Oversized capture: spills to the heap box, same semantics.
+  std::array<std::uint64_t, 32> big{};
+  big[31] = 7;
+  common::SmallFunction<int()> boxed = [big] {
+    return static_cast<int>(big[31]);
+  };
+  EXPECT_EQ(boxed(), 7);
+
+  // Move transfers the target and empties the source.
+  auto moved = std::move(boxed);
+  EXPECT_EQ(moved(), 7);
+  EXPECT_FALSE(static_cast<bool>(boxed));  // NOLINT(bugprone-use-after-move)
+
+  common::SmallFunction<void()> empty;
+  EXPECT_FALSE(static_cast<bool>(empty));
+  EXPECT_THROW(empty(), std::bad_function_call);
+}
+
+TEST(SmallFunction, DestroysMoveOnlyTargetExactlyOnce) {
+  auto counted = std::make_shared<int>(0);
+  {
+    common::SmallFunction<void()> f = [counted] { ++*counted; };
+    EXPECT_EQ(counted.use_count(), 2);
+    f();
+    auto g = std::move(f);
+    EXPECT_EQ(counted.use_count(), 2);  // transferred, not duplicated
+    g();
+  }
+  EXPECT_EQ(counted.use_count(), 1);  // released on destruction
+  EXPECT_EQ(*counted, 2);
 }
 
 }  // namespace

@@ -7,11 +7,17 @@
 # three times to pin the batched-settlement contract:
 #   1. --threads 1, epoch 0   -> the sequential baseline CSVs, which must
 #      also be byte-identical to the frozen pre-refactor baseline in
-#      tests/data/fig7_baseline (pins SyntheticSource + streaming engine)
+#      tests/data/fig7_baseline (pins SyntheticSource + streaming engine +
+#      the typed pooled-event scheduler: epoch-0 event streams must never
+#      drift across refactors)
 #   2. default threads, epoch 0 -> must be byte-identical to the baseline
 #      (parallel runner AND the epoch-0 engine path change nothing)
 #   3. epoch 10 ms            -> batched mode completes with the engine's
 #      funds-conservation check intact
+#
+# The engine hot-path microbench then runs in fast mode and its
+# BENCH_engine_hotpath.json is archived in the build dir, so every CI run
+# records the events/sec trajectory of the event loop.
 #
 # Finally the workload subsystem smokes: a trace replay of the checked-in
 # example trace through splicer_cli, plus streaming bursty/hotspot runs and
@@ -51,6 +57,12 @@ diff -r "$SMOKE_DIR/baseline" "$SMOKE_DIR/epoch0"
 echo "CI: fig7 smoke, batched settlement (epoch 10 ms)"
 SPLICER_BENCH_FAST=1 \
   "$BUILD_DIR/bench_fig7_small_scale" --settlement-epoch 10 > "$SMOKE_DIR/epoch10.txt"
+
+echo "CI: engine hot-path microbench (archives BENCH_engine_hotpath.json)"
+"$BUILD_DIR/bench_engine_hotpath" --fast --repeat 2 \
+  --json "$BUILD_DIR/BENCH_engine_hotpath.json" > "$SMOKE_DIR/hotpath.txt"
+# The JSON must exist and carry per-scheme events/sec rows.
+grep -q '"events_per_sec"' "$BUILD_DIR/BENCH_engine_hotpath.json"
 
 echo "CI: trace replay smoke (splicer_cli --workload trace)"
 "$BUILD_DIR/splicer_cli" compare --nodes 60 --workload trace \
