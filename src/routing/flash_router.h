@@ -40,6 +40,17 @@ class FlashRouter final : public Router {
   void on_tu_delivered(Engine& engine, const TransactionUnit& tu) override;
   void on_tu_failed(Engine& engine, const TransactionUnit& tu,
                     FailReason reason) override;
+  void on_payment_resolved(Engine& engine, PaymentId payment) override {
+    (void)engine;
+    // No TU of the payment remains; retries stopped at resolution (both TU
+    // hooks check the payment's active() state before redispatching).
+    progress_.erase(payment);
+  }
+
+  /// Payments still holding a progress_ entry (tests: must be 0 post-run).
+  [[nodiscard]] std::size_t tracked_payments() const noexcept {
+    return progress_.size();
+  }
 
  private:
   struct PaymentProgress {

@@ -33,6 +33,17 @@ class LandmarkRouter final : public Router {
   void on_payment(Engine& engine, const pcn::Payment& payment) override;
   void on_tu_failed(Engine& engine, const TransactionUnit& tu,
                     FailReason reason) override;
+  void on_payment_resolved(Engine& engine, PaymentId payment) override {
+    (void)engine;
+    // on_tu_failed consults retries_left_ only while the payment is active,
+    // which can't recur once the payment is quiescent.
+    retries_left_.erase(payment);
+  }
+
+  /// Payments still holding a retries_left_ entry (tests: 0 post-run).
+  [[nodiscard]] std::size_t tracked_payments() const noexcept {
+    return retries_left_.size();
+  }
 
   /// Exposed for tests: the via-landmark path with loops pruned.
   [[nodiscard]] static graph::Path prune_loops(const graph::Path& path);

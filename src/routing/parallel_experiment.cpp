@@ -61,7 +61,9 @@ std::vector<std::vector<TaskResult>> ParallelRunner::run(
     for (std::size_t k = 0; k < K; ++k) {
       for (std::size_t t = 0; t < T; ++t) {
         const std::size_t index = (s * K + k) * T + t;
-        pool.submit_to(index, [&, s, k, t, index] {
+        // Explicit wrap: the pinning key is the dense task index, folded
+        // onto the worker ring (submit_to itself rejects out-of-range).
+        pool.submit_to(index % pool.thread_count(), [&, s, k, t, index] {
           SchemeConfig config = tasks[t].config;
           if (k > 0) {
             config.engine.seed = derive_seed(
@@ -116,7 +118,7 @@ std::vector<std::vector<TaskResult>> ParallelRunner::run_prepared(
   for (std::size_t s = 0; s < S; ++s) {
     for (std::size_t t = 0; t < T; ++t) {
       const std::size_t index = s * T + t;
-      pool.submit_to(index, [&, s, t, index] {
+      pool.submit_to(index % pool.thread_count(), [&, s, t, index] {
         raw[index] = run_scheme(scenarios[s], tasks[t].scheme, tasks[t].config);
       });
     }

@@ -347,6 +347,15 @@ void RateRouterBase::on_tu_failed(Engine& engine, const TransactionUnit& tu,
   }
 }
 
+void RateRouterBase::on_payment_resolved(Engine& engine, PaymentId payment) {
+  (void)engine;
+  // Quiescent: no TU of this payment can ever reach on_tu_delivered /
+  // on_tu_failed again (both tolerate the missing entry regardless), so the
+  // pair lookup entry is dead weight from here on. The pair itself stays —
+  // its paths, rates and windows are shared by every payment of the pair.
+  pair_of_payment_.erase(payment);
+}
+
 void RateRouterBase::on_tu_forwarded(Engine& engine, const TransactionUnit& tu,
                                      ChannelId channel, pcn::Direction direction) {
   (void)engine;

@@ -84,9 +84,16 @@ class RateRouterBase : public Router {
                     FailReason reason) override;
   void on_tu_forwarded(Engine& engine, const TransactionUnit& tu,
                        ChannelId channel, pcn::Direction direction) override;
+  void on_payment_resolved(Engine& engine, PaymentId payment) override;
 
   [[nodiscard]] const RateProtocolConfig& protocol_config() const noexcept {
     return config_;
+  }
+
+  /// Payments still holding a pair_of_payment_ entry (tests: the
+  /// on_payment_resolved hook must leave this at 0 after a full run).
+  [[nodiscard]] std::size_t tracked_payments() const noexcept {
+    return pair_of_payment_.size();
   }
 
   /// Current routing price xi of a directed channel (tests/diagnostics).

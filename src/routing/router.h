@@ -118,6 +118,19 @@ class Router {
     (void)payment;
   }
 
+  /// The payment reached quiescence: resolved (completed or failed), no
+  /// live TU remains and its deadline event has fired or been cancelled —
+  /// the engine will never invoke another per-TU hook for it. Fired exactly
+  /// once per payment, immediately before the state would be evicted (it
+  /// also fires, at the same point, when retention keeps the state). This
+  /// is the place to erase per-payment entries from router-side maps.
+  /// Contract: the hook must not dispatch TUs or schedule events — firing
+  /// it must leave the simulation's event stream untouched.
+  virtual void on_payment_resolved(Engine& engine, PaymentId payment) {
+    (void)engine;
+    (void)payment;
+  }
+
   /// A timer armed through Engine::schedule_timer fired. `a` and `b` carry
   /// whatever the router packed when arming — the typed hot-path
   /// alternative to capturing lambdas for per-TU timers (pacing drips,

@@ -1,0 +1,373 @@
+#include "routing/sharded_engine.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <utility>
+
+#include "common/rng.h"
+#include "routing/a2l_router.h"
+#include "routing/flash_router.h"
+#include "routing/landmark_router.h"
+#include "routing/shortest_path_router.h"
+#include "routing/spider_router.h"
+#include "routing/splicer_router.h"
+
+namespace splicer::routing {
+
+// ---------------------------------------------------------------------------
+// ShardPlan
+
+ShardPlan ShardPlan::single(const pcn::Network& network) {
+  ShardPlan plan;
+  plan.shards = 1;
+  plan.node_shard.assign(network.node_count(), 0);
+  plan.channel_shard.assign(network.channel_count(), 0);
+  return plan;
+}
+
+ShardPlan ShardPlan::contiguous(const pcn::Network& network,
+                                std::uint32_t shards) {
+  if (shards <= 1) return single(network);
+  ShardPlan plan;
+  plan.shards = shards;
+  const std::size_t n = network.node_count();
+  plan.node_shard.resize(n);
+  for (std::size_t v = 0; v < n; ++v) {
+    plan.node_shard[v] = static_cast<std::uint32_t>(v * shards / n);
+  }
+  plan.channel_shard.resize(network.channel_count());
+  for (std::size_t c = 0; c < plan.channel_shard.size(); ++c) {
+    const pcn::Channel& channel = network.channel(static_cast<ChannelId>(c));
+    const NodeId low = std::min(channel.node_a(), channel.node_b());
+    plan.channel_shard[c] = plan.node_shard[low];
+  }
+  return plan;
+}
+
+ShardPlan ShardPlan::hub_affinity(const pcn::Network& network,
+                                  const std::vector<NodeId>& hub_of,
+                                  const std::vector<NodeId>& hubs,
+                                  std::uint32_t shards) {
+  if (shards <= 1) return single(network);
+  if (hub_of.size() != network.node_count()) {
+    throw std::invalid_argument("ShardPlan::hub_affinity: hub_of size mismatch");
+  }
+  if (hubs.empty()) {
+    throw std::invalid_argument("ShardPlan::hub_affinity: no hubs");
+  }
+  ShardPlan plan;
+  plan.shards = shards;
+  // hubs[i] -> shard i % shards; every node follows its managing hub.
+  std::vector<std::uint32_t> shard_of_hub(network.node_count(), ~0u);
+  for (std::size_t i = 0; i < hubs.size(); ++i) {
+    shard_of_hub[hubs[i]] = static_cast<std::uint32_t>(i % shards);
+  }
+  plan.node_shard.resize(network.node_count());
+  for (std::size_t v = 0; v < plan.node_shard.size(); ++v) {
+    const NodeId hub = hub_of[v];
+    if (hub >= shard_of_hub.size() || shard_of_hub[hub] == ~0u) {
+      throw std::invalid_argument(
+          "ShardPlan::hub_affinity: node managed by an unplaced hub");
+    }
+    plan.node_shard[v] = shard_of_hub[hub];
+  }
+  // A channel follows its hub endpoint; a trunk between two hubs follows
+  // the lower-id hub (deterministic and independent of edge orientation).
+  plan.channel_shard.resize(network.channel_count());
+  for (std::size_t c = 0; c < plan.channel_shard.size(); ++c) {
+    const pcn::Channel& channel = network.channel(static_cast<ChannelId>(c));
+    const NodeId a = channel.node_a();
+    const NodeId b = channel.node_b();
+    const bool a_hub = shard_of_hub[a] != ~0u;
+    const bool b_hub = shard_of_hub[b] != ~0u;
+    NodeId anchor;
+    if (a_hub && b_hub) {
+      anchor = std::min(a, b);
+    } else if (a_hub) {
+      anchor = a;
+    } else if (b_hub) {
+      anchor = b;
+    } else {
+      anchor = std::min(a, b);  // client-client edge: fall back to node map
+    }
+    plan.channel_shard[c] = plan.node_shard[anchor];
+  }
+  return plan;
+}
+
+void ShardPlan::validate(const pcn::Network& network) const {
+  if (shards == 0) {
+    throw std::invalid_argument("ShardPlan: zero shards");
+  }
+  if (node_shard.size() != network.node_count() ||
+      channel_shard.size() != network.channel_count()) {
+    throw std::invalid_argument("ShardPlan: size mismatch with network");
+  }
+  for (const std::uint32_t s : node_shard) {
+    if (s >= shards) throw std::invalid_argument("ShardPlan: node shard out of range");
+  }
+  for (const std::uint32_t s : channel_shard) {
+    if (s >= shards) {
+      throw std::invalid_argument("ShardPlan: channel shard out of range");
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// ShardedEngine
+
+std::uint64_t ShardedEngine::shard_seed(std::uint64_t base, std::uint32_t shard,
+                                        std::uint32_t shards) {
+  if (shards <= 1) return base;  // bit-parity with the sequential engine
+  std::uint64_t state = base;
+  state = common::splitmix64(state) ^ (0x5348415244ull + shard);  // "SHARD"
+  return common::splitmix64(state);
+}
+
+ShardedEngine::ShardedEngine(const pcn::Network& network,
+                             std::unique_ptr<pcn::TrafficSource> source,
+                             const RouterFactory& make_router, ShardPlan plan,
+                             const EngineConfig& engine_config,
+                             ShardedEngineConfig config)
+    : plan_(std::move(plan)), config_(config) {
+  plan_.validate(network);
+  if (source == nullptr) {
+    throw std::invalid_argument("ShardedEngine: null traffic source");
+  }
+  period_ = config_.barrier_period_s > 0
+                ? config_.barrier_period_s
+                : (engine_config.settlement_epoch_s > 0
+                       ? engine_config.settlement_epoch_s
+                       : 0.01);
+
+  const std::uint32_t n = plan_.shards;
+  const double horizon_hint = source->horizon_hint();
+  routers_.reserve(n);
+  engines_.reserve(n);
+  handoff_lanes_.resize(static_cast<std::size_t>(n) * n);
+  result_lanes_.resize(static_cast<std::size_t>(n) * n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    EngineConfig cfg = engine_config;
+    cfg.seed = shard_seed(engine_config.seed, i, n);
+    routers_.push_back(make_router(i));
+    if (routers_.back() == nullptr) {
+      throw std::invalid_argument("ShardedEngine: router factory returned null");
+    }
+    // One shard: the engine keeps the real source and its native lazy pull
+    // (the byte-identity path). N shards: every engine starts empty and
+    // the coordinator injects each payment into its sender's home shard.
+    std::unique_ptr<pcn::TrafficSource> shard_source =
+        (n == 1) ? std::move(source)
+                 : std::make_unique<pcn::VectorSource>(std::vector<pcn::Payment>{});
+    engines_.push_back(std::make_unique<Engine>(network, std::move(shard_source),
+                                                *routers_.back(), cfg));
+    if (n > 1) {
+      engines_.back()->bind_shard(this, i, horizon_hint);
+    }
+  }
+  if (n > 1) {
+    source_ = std::move(source);
+    staged_ = source_->next();
+  }
+
+  std::vector<sim::Scheduler*> schedulers;
+  schedulers.reserve(n);
+  for (auto& engine : engines_) schedulers.push_back(&engine->scheduler());
+  sharded_ = std::make_unique<sim::ShardedScheduler>(std::move(schedulers),
+                                                     period_);
+}
+
+EngineMetrics ShardedEngine::run() {
+  for (auto& engine : engines_) engine->begin_run();
+
+  std::size_t threads = config_.threads;
+  if (threads == 0) {
+    const unsigned hw = std::thread::hardware_concurrency();
+    threads = std::max<std::size_t>(1, std::min<std::size_t>(
+                                           plan_.shards, hw == 0 ? 1 : hw));
+  }
+  threads = std::max<std::size_t>(1, std::min<std::size_t>(threads, plan_.shards));
+  sim::ThreadPool pool(threads);
+  sharded_->drive(pool, *this);
+
+  for (auto& engine : engines_) engine->finish_run();
+
+  EngineMetrics merged = engines_[0]->metrics();
+  for (std::uint32_t i = 1; i < plan_.shards; ++i) {
+    merged.merge_from(engines_[i]->metrics());
+  }
+  merged.shard_barriers = sharded_->barriers();
+  merged.shard_critical_path_events = sharded_->critical_path_events();
+  return merged;
+}
+
+std::size_t ShardedEngine::run_shard(std::size_t shard, sim::Time until) {
+  return engines_[shard]->run_window(until);
+}
+
+void ShardedEngine::on_barrier(sim::Time barrier) {
+  // Rich messages, fixed (destination, source, emission) order — the same
+  // drain discipline as the POD lanes, so the destination's event order is
+  // a pure function of the lane contents.
+  const std::size_t n = plan_.shards;
+  for (std::size_t to = 0; to < n; ++to) {
+    for (std::size_t from = 0; from < n; ++from) {
+      auto& handoffs = handoff_lanes_[from * n + to];
+      while (!handoffs.empty()) {
+        engines_[to]->deliver_handoff(std::move(handoffs.front()), barrier);
+        handoffs.pop_front();
+      }
+      auto& results = result_lanes_[from * n + to];
+      while (!results.empty()) {
+        engines_[to]->deliver_result(std::move(results.front()), barrier);
+        results.pop_front();
+      }
+    }
+  }
+}
+
+void ShardedEngine::before_window(sim::Time window_end) {
+  // Materialise every arrival due in the upcoming window as a scheduler
+  // event on its sender's home shard. Injection happens before the window
+  // runs, so the arrival fires at its true timestamp (the drive loop sizes
+  // the window to cover next_work_time(), i.e. the staged arrival).
+  if (source_ == nullptr) return;
+  while (staged_.has_value() && staged_->arrival_time <= window_end) {
+    const std::uint32_t home = plan_.node_shard[staged_->sender];
+    engines_[home]->inject_arrival(std::move(*staged_));
+    staged_ = source_->next();
+  }
+}
+
+sim::Time ShardedEngine::next_work_time() const {
+  return staged_.has_value() ? staged_->arrival_time
+                             : sim::Scheduler::kForever;
+}
+
+sim::Time ShardedEngine::hard_stop() const {
+  // Mirrors the sequential run() loop's extending bound: the latest
+  // deadline pulled so far (including the staged, not-yet-injected
+  // payment) plus slack. Grows between windows as arrivals stream in.
+  double last = 0.0;
+  for (const auto& engine : engines_) {
+    last = std::max(last, engine->last_deadline_seen());
+  }
+  if (staged_.has_value()) last = std::max(last, staged_->deadline);
+  return last + engines_[0]->config().horizon_slack_s + 60.0;
+}
+
+void ShardedEngine::handoff_tu(std::uint32_t from, TuHandoff msg) {
+  const ChannelId boundary = msg.tu.path.edges[msg.tu.next_hop];
+  const std::uint32_t to = plan_.channel_shard[boundary];
+  handoff_lanes_[static_cast<std::size_t>(from) * plan_.shards + to].push_back(
+      std::move(msg));
+}
+
+void ShardedEngine::post_result(std::uint32_t from, std::uint32_t home_shard,
+                                TuResult msg) {
+  result_lanes_[static_cast<std::size_t>(from) * plan_.shards + home_shard]
+      .push_back(std::move(msg));
+}
+
+void ShardedEngine::post_ack(std::uint32_t from, ChannelId channel, double when,
+                             const sim::EngineEvent& event) {
+  sharded_->post(from, plan_.channel_shard[channel], when, event);
+}
+
+// ---------------------------------------------------------------------------
+// run_scheme_sharded
+
+EngineMetrics run_scheme_sharded(const Scenario& scenario, Scheme scheme,
+                                 SchemeConfig config,
+                                 ShardedEngineConfig sharded) {
+  const std::uint32_t n = std::max<std::uint32_t>(1, sharded.shards);
+  sharded.shards = n;
+  switch (scheme) {
+    case Scheme::kSplicer: {
+      config.engine.queues_enabled = true;
+      const ShardPlan plan = ShardPlan::hub_affinity(
+          scenario.multi_star.network, scenario.multi_star.hub_of,
+          scenario.multi_star.hubs, n);
+      ShardedEngine engine(
+          scenario.multi_star.network, scenario.make_source(),
+          [&](std::uint32_t) -> std::unique_ptr<Router> {
+            SplicerRouter::Config rc;
+            rc.protocol = config.protocol;
+            return std::make_unique<SplicerRouter>(scenario.multi_star.hub_of,
+                                                   scenario.multi_star.hubs, rc);
+          },
+          plan, config.engine, sharded);
+      return engine.run();
+    }
+    case Scheme::kSpider: {
+      config.engine.queues_enabled = true;
+      const ShardPlan plan = ShardPlan::contiguous(scenario.raw, n);
+      ShardedEngine engine(
+          scenario.raw, scenario.make_source(),
+          [&](std::uint32_t) -> std::unique_ptr<Router> {
+            SpiderRouter::Config rc;
+            rc.protocol = config.protocol;
+            rc.protocol.path_type = graph::PathType::kEdgeDisjointShortest;
+            return std::make_unique<SpiderRouter>(rc);
+          },
+          plan, config.engine, sharded);
+      return engine.run();
+    }
+    case Scheme::kFlash: {
+      config.engine.queues_enabled = false;
+      const ShardPlan plan = ShardPlan::contiguous(scenario.raw, n);
+      ShardedEngine engine(
+          scenario.raw, scenario.make_source(),
+          [](std::uint32_t) -> std::unique_ptr<Router> {
+            return std::make_unique<FlashRouter>();
+          },
+          plan, config.engine, sharded);
+      return engine.run();
+    }
+    case Scheme::kLandmark: {
+      config.engine.queues_enabled = false;
+      const ShardPlan plan = ShardPlan::contiguous(scenario.raw, n);
+      ShardedEngine engine(
+          scenario.raw, scenario.make_source(),
+          [](std::uint32_t) -> std::unique_ptr<Router> {
+            return std::make_unique<LandmarkRouter>();
+          },
+          plan, config.engine, sharded);
+      return engine.run();
+    }
+    case Scheme::kA2l: {
+      config.engine.queues_enabled = false;
+      // Single hub: hub affinity pins every channel to one shard — A2L's
+      // serialisation point stays serialised, truthfully.
+      const ShardPlan plan = ShardPlan::hub_affinity(
+          scenario.single_star.network, scenario.single_star.hub_of,
+          scenario.single_star.hubs, n);
+      ShardedEngine engine(
+          scenario.single_star.network, scenario.make_source(),
+          [&](std::uint32_t) -> std::unique_ptr<Router> {
+            A2lRouter::Config rc;
+            rc.hub = scenario.single_star.hubs.front();
+            rc.epoch_s = config.protocol.tau_s;  // tumbler phase = update time
+            return std::make_unique<A2lRouter>(rc);
+          },
+          plan, config.engine, sharded);
+      return engine.run();
+    }
+    case Scheme::kShortestPath: {
+      config.engine.queues_enabled = false;
+      const ShardPlan plan = ShardPlan::contiguous(scenario.raw, n);
+      ShardedEngine engine(
+          scenario.raw, scenario.make_source(),
+          [](std::uint32_t) -> std::unique_ptr<Router> {
+            return std::make_unique<ShortestPathRouter>();
+          },
+          plan, config.engine, sharded);
+      return engine.run();
+    }
+  }
+  throw std::invalid_argument("run_scheme_sharded: unknown scheme");
+}
+
+}  // namespace splicer::routing

@@ -1,0 +1,183 @@
+#pragma once
+
+// Shard-parallel engine coordinator: N full Engine instances (each owning a
+// private copy of the network, its own Scheduler, Router, RNG stream and
+// metrics block) advance in lock-step between settlement-epoch barriers on
+// a pinned thread pool. Shards share no mutable state; everything that
+// crosses a shard boundary travels through single-writer mailbox lanes
+// drained while all workers are parked at the barrier:
+//
+//   * POD acks (settle/refund ladder steps for hops whose channel lives on
+//     another shard) ride the sim::ShardedScheduler lanes directly;
+//   * rich messages — TU handoffs when a payment's next hop enters another
+//     shard's channel, and TuResults carrying a foreign TU's outcome back
+//     to its home shard — ride typed lanes owned by this coordinator and
+//     are delivered via Engine::deliver_handoff / deliver_result.
+//
+// Determinism contract (CI-gated):
+//   * shards == 1 is bit-identical to the sequential Engine::run(): one
+//     engine, the real traffic source, no coordinator binding, and the
+//     barrier loop's windows never reorder a single-scheduler stream.
+//   * For fixed N, runs are bit-identical to each other regardless of the
+//     worker count: mail is drained in fixed (destination, source,
+//     emission) order and shard RNG seeds derive from the base seed alone.
+//
+// What sharding changes (documented quantisation, same spirit as the
+// batched-settlement grid): cross-shard messages are delivered at the next
+// barrier (clamped to it), and routers see only their shard's copy of the
+// network — remote channels hold their initial balances, so global-view
+// heuristics (Splicer's source gating) act on a stale view of foreign
+// funds. Both effects are deterministic.
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "pcn/network.h"
+#include "pcn/traffic_source.h"
+#include "routing/engine.h"
+#include "routing/experiment.h"
+#include "routing/router.h"
+#include "sim/sharded_scheduler.h"
+
+namespace splicer::routing {
+
+/// Static ownership map: every node and every channel belongs to exactly
+/// one shard. A channel's shard owns both directions — rate buckets,
+/// queues, funds and locks of that channel mutate only on its owner.
+struct ShardPlan {
+  std::uint32_t shards = 1;
+  std::vector<std::uint32_t> node_shard;     // size = node_count
+  std::vector<std::uint32_t> channel_shard;  // size = channel_count
+
+  /// Everything on shard 0 (the 1-shard parity layout).
+  [[nodiscard]] static ShardPlan single(const pcn::Network& network);
+
+  /// Contiguous node-id ranges (node v -> v * shards / n); a channel
+  /// follows its lower-id endpoint. The default for raw topologies, where
+  /// Watts-Strogatz locality makes id ranges a reasonable edge cut.
+  [[nodiscard]] static ShardPlan contiguous(const pcn::Network& network,
+                                            std::uint32_t shards);
+
+  /// Hub-affinity layout for star/multi-star substrates: hubs[i] lands on
+  /// shard i % shards, every node follows its managing hub, and a channel
+  /// follows its hub endpoint (trunk channels between two hubs follow the
+  /// lower-id hub). Keeps each client's spoke local to the shard whose
+  /// router admits its payments, so only trunk hops cross shards.
+  [[nodiscard]] static ShardPlan hub_affinity(
+      const pcn::Network& network, const std::vector<NodeId>& hub_of,
+      const std::vector<NodeId>& hubs, std::uint32_t shards);
+
+  /// Throws std::invalid_argument unless the plan covers `network` exactly
+  /// and every assignment is < shards.
+  void validate(const pcn::Network& network) const;
+};
+
+struct ShardedEngineConfig {
+  std::uint32_t shards = 1;
+  /// Barrier grid period in seconds. 0 = auto: the engine's
+  /// settlement_epoch_s when batched settlement is on (the two
+  /// quantisation grids then coincide), else 10 ms.
+  double barrier_period_s = 0.0;
+  /// Worker threads. 0 = auto: min(shards, hardware concurrency).
+  std::size_t threads = 0;
+};
+
+/// Runs one simulation across N shards. Construction builds the per-shard
+/// engines; run() drives them to completion and returns the merged metrics
+/// (deterministic ascending-shard merge, see EngineMetrics::merge_from).
+class ShardedEngine final : public ShardCoordinator,
+                            private sim::ShardedScheduler::ShardRunner {
+ public:
+  /// Builds the router for one shard. Called once per shard, in shard
+  /// order, during construction. Each shard must get its own instance:
+  /// routers hold per-payment state and are never shared across threads.
+  using RouterFactory = std::function<std::unique_ptr<Router>(std::uint32_t)>;
+
+  /// `network` is copied once per shard. `source` feeds the whole
+  /// simulation: with 1 shard it is handed to the engine verbatim (native
+  /// lazy pull, byte-identical to sequential); with N > 1 the coordinator
+  /// pulls it and injects each payment into its sender's home shard before
+  /// the window covering its arrival.
+  ShardedEngine(const pcn::Network& network,
+                std::unique_ptr<pcn::TrafficSource> source,
+                const RouterFactory& make_router, ShardPlan plan,
+                const EngineConfig& engine_config, ShardedEngineConfig config);
+
+  ShardedEngine(const ShardedEngine&) = delete;
+  ShardedEngine& operator=(const ShardedEngine&) = delete;
+
+  /// Runs to completion. Single call.
+  [[nodiscard]] EngineMetrics run();
+
+  [[nodiscard]] std::uint32_t shard_count() const noexcept {
+    return plan_.shards;
+  }
+  [[nodiscard]] const ShardPlan& plan() const noexcept { return plan_; }
+  /// Per-shard engine (tests/diagnostics).
+  [[nodiscard]] Engine& engine(std::uint32_t shard) { return *engines_[shard]; }
+  [[nodiscard]] Router& router(std::uint32_t shard) { return *routers_[shard]; }
+
+  /// Deterministic per-shard RNG seed: the base seed itself when the plan
+  /// has one shard (bit-parity with the sequential engine), else a
+  /// splitmix64 chain over (base, shard).
+  [[nodiscard]] static std::uint64_t shard_seed(std::uint64_t base,
+                                                std::uint32_t shard,
+                                                std::uint32_t shards);
+
+  // --- ShardCoordinator (called by engines during parallel phases) -------
+  [[nodiscard]] std::uint32_t shard_of_channel(
+      ChannelId channel) const noexcept override {
+    return plan_.channel_shard[channel];
+  }
+  void handoff_tu(std::uint32_t from, TuHandoff msg) override;
+  void post_result(std::uint32_t from, std::uint32_t home_shard,
+                   TuResult msg) override;
+  void post_ack(std::uint32_t from, ChannelId channel, double when,
+                const sim::EngineEvent& event) override;
+
+ private:
+  // --- ShardRunner (called by the drive loop) ----------------------------
+  std::size_t run_shard(std::size_t shard, sim::Time until) override;
+  void on_barrier(sim::Time barrier) override;
+  void before_window(sim::Time window_end) override;
+  [[nodiscard]] sim::Time next_work_time() const override;
+  [[nodiscard]] sim::Time hard_stop() const override;
+
+  void stage_next_arrival();
+
+  ShardPlan plan_;
+  ShardedEngineConfig config_;
+  double period_;
+  std::vector<std::unique_ptr<Router>> routers_;
+  std::vector<std::unique_ptr<Engine>> engines_;
+  std::unique_ptr<sim::ShardedScheduler> sharded_;
+
+  // Coordinator-side source (N > 1 only; with one shard the engine owns
+  // the source and these stay empty/null).
+  std::unique_ptr<pcn::TrafficSource> source_;
+  std::optional<pcn::Payment> staged_;
+
+  // Rich-message lanes [from * N + to]: appended by the worker running
+  // shard `from` during a parallel phase, drained by the coordinator at
+  // the barrier (the pool's wait() is the happens-before edge) — the same
+  // single-writer discipline as the POD mail lanes.
+  std::vector<std::deque<TuHandoff>> handoff_lanes_;
+  std::vector<std::deque<TuResult>> result_lanes_;
+};
+
+/// Sharded counterpart of run_scheme(): same per-scheme substrate, router
+/// configuration and engine flags, executed on `sharded.shards` shards.
+/// Hub-affinity partition for hub substrates (Splicer, A2L — note A2L's
+/// single hub pins all channels to one shard, truthfully serialising what
+/// the scheme serialises), contiguous ranges for raw-topology schemes.
+/// With sharded.shards == 1 the result is byte-identical to run_scheme().
+[[nodiscard]] EngineMetrics run_scheme_sharded(const Scenario& scenario,
+                                               Scheme scheme,
+                                               SchemeConfig config,
+                                               ShardedEngineConfig sharded);
+
+}  // namespace splicer::routing

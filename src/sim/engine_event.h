@@ -29,6 +29,8 @@ struct EngineEvent {
     kDrain,          // rate-limiter queue wake-up: channel, aux = direction
     kFlush,          // settlement-epoch flush boundary
     kRouterTimer,    // router-owned timer: a and b are router-defined
+    kRemoteHandoff,  // sharded mode: adopt the next TU from the handoff inbox
+    kRemoteResult,   // sharded mode: apply the next entry of the result inbox
   };
 
   Kind kind = Kind::kNone;

@@ -1,6 +1,8 @@
 #include "sim/thread_pool.h"
 
 #include <algorithm>
+#include <stdexcept>
+#include <string>
 #include <utility>
 
 namespace splicer::sim {
@@ -41,11 +43,17 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::submit(Task task) {
-  submit_to(next_shard_.fetch_add(1, std::memory_order_relaxed), std::move(task));
+  const std::size_t next = next_shard_.fetch_add(1, std::memory_order_relaxed);
+  submit_to(next % shards_.size(), std::move(task));
 }
 
 void ThreadPool::submit_to(std::size_t shard_index, Task task) {
-  Shard& shard = *shards_[shard_index % shards_.size()];
+  if (shard_index >= shards_.size()) {
+    throw std::out_of_range("ThreadPool::submit_to: shard " +
+                            std::to_string(shard_index) + " >= thread_count " +
+                            std::to_string(shards_.size()));
+  }
+  Shard& shard = *shards_[shard_index];
   {
     std::lock_guard lock(done_mutex_);
     ++pending_;

@@ -53,8 +53,13 @@ class ThreadPool {
   /// Enqueues a task on the next shard (round-robin over workers).
   void submit(Task task);
 
-  /// Enqueues a task on a specific shard; `shard` is taken modulo
-  /// `thread_count()` so callers can use any stable integer key.
+  /// Enqueues a task on a specific shard. `shard` must be < thread_count();
+  /// anything else throws std::out_of_range. Wrapping is deliberately not
+  /// done here: silent modulo aliasing folds two logical shards onto one
+  /// worker — serializing them with no visible signal — which is exactly
+  /// the mismatch the sharded engine needs surfaced. Callers that want a
+  /// wrapped key must write `key % pool.thread_count()` themselves, making
+  /// the fold explicit at the call site.
   void submit_to(std::size_t shard, Task task);
 
   /// Blocks until every submitted task has finished. If any task threw, the
@@ -62,8 +67,11 @@ class ThreadPool {
   void wait();
 
   /// Runs `body(i)` for every i in [0, n), sharded into `thread_count()`
-  /// contiguous blocks. Blocks until done (exceptions as in `wait()`).
-  /// `body` is captured by reference (it outlives the call) — no
+  /// contiguous blocks: shard s executes indices [n*s/W, n*(s+1)/W) where
+  /// W = thread_count(), so index i always lands on shard floor(i*W/n)-ish
+  /// (the unique s whose block contains i). The mapping is a pure function
+  /// of (n, W) — stable across runs. Blocks until done (exceptions as in
+  /// `wait()`). `body` is captured by reference (it outlives the call) — no
   /// type-erasure wrapper, no per-shard allocation.
   template <typename F>
   void parallel_for(std::size_t n, F&& body) {

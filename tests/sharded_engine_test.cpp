@@ -1,0 +1,245 @@
+// ShardedEngine unit layer: partition-plan builders, per-shard seed
+// derivation, coordinator plumbing on a real (small) workload, and the
+// router-side per-payment map cleanup contract (on_payment_resolved).
+//
+// This suite is also the ThreadSanitizer smoke target for the sharded
+// engine: it drives real 4-shard runs through the thread pool.
+
+#include "routing/sharded_engine.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/rng.h"
+#include "graph/generators.h"
+#include "routing/experiment.h"
+#include "routing/flash_router.h"
+#include "routing/landmark_router.h"
+#include "routing/rate_protocol.h"
+#include "routing/splicer_router.h"
+
+namespace splicer::routing {
+namespace {
+
+ScenarioConfig tiny_config(std::uint64_t seed = 51) {
+  ScenarioConfig config;
+  config.seed = seed;
+  config.topology.nodes = 60;
+  config.placement.candidate_count = 6;
+  config.workload.payment_count = 150;
+  config.workload.horizon_seconds = 6.0;
+  return config;
+}
+
+pcn::Network tiny_network(std::uint64_t seed = 3) {
+  common::Rng rng(seed);
+  return pcn::Network::with_uniform_funds(
+      graph::watts_strogatz(40, 4, 0.2, rng), common::whole_tokens(100));
+}
+
+TEST(ShardPlan, SinglePutsEverythingOnShardZero) {
+  const auto network = tiny_network();
+  const auto plan = ShardPlan::single(network);
+  EXPECT_EQ(plan.shards, 1u);
+  plan.validate(network);
+  for (const auto s : plan.node_shard) EXPECT_EQ(s, 0u);
+  for (const auto s : plan.channel_shard) EXPECT_EQ(s, 0u);
+}
+
+TEST(ShardPlan, ContiguousCoversAllShardsAndFollowsLowEndpoint) {
+  const auto network = tiny_network();
+  const auto plan = ShardPlan::contiguous(network, 4);
+  plan.validate(network);
+  std::set<std::uint32_t> used(plan.node_shard.begin(), plan.node_shard.end());
+  EXPECT_EQ(used.size(), 4u);
+  // Node shards are monotone in node id (contiguous ranges).
+  for (std::size_t v = 1; v < plan.node_shard.size(); ++v) {
+    EXPECT_LE(plan.node_shard[v - 1], plan.node_shard[v]);
+  }
+  for (std::size_t c = 0; c < network.channel_count(); ++c) {
+    const auto& channel = network.channel(static_cast<ChannelId>(c));
+    const NodeId low = std::min(channel.node_a(), channel.node_b());
+    EXPECT_EQ(plan.channel_shard[c], plan.node_shard[low]);
+  }
+}
+
+TEST(ShardPlan, HubAffinityKeepsSpokesLocal) {
+  const auto scenario = prepare_scenario(tiny_config());
+  const auto& star = scenario.multi_star;
+  const auto plan = ShardPlan::hub_affinity(star.network, star.hub_of,
+                                            star.hubs, 3);
+  plan.validate(star.network);
+  // Every node sits on its managing hub's shard...
+  for (std::size_t v = 0; v < plan.node_shard.size(); ++v) {
+    EXPECT_EQ(plan.node_shard[v], plan.node_shard[star.hub_of[v]]);
+  }
+  // ...and every client spoke channel is local to that shard, so only
+  // hub-to-hub trunks can cross shards.
+  for (std::size_t c = 0; c < star.network.channel_count(); ++c) {
+    const auto& channel = star.network.channel(static_cast<ChannelId>(c));
+    const bool a_hub = star.is_hub[channel.node_a()];
+    const bool b_hub = star.is_hub[channel.node_b()];
+    if (a_hub && b_hub) continue;  // trunk
+    const NodeId client = a_hub ? channel.node_b() : channel.node_a();
+    EXPECT_EQ(plan.channel_shard[c], plan.node_shard[client]);
+  }
+}
+
+TEST(ShardPlan, ValidateRejectsMalformedPlans) {
+  const auto network = tiny_network();
+  auto plan = ShardPlan::contiguous(network, 2);
+  plan.node_shard.pop_back();
+  EXPECT_THROW(plan.validate(network), std::invalid_argument);
+  plan = ShardPlan::contiguous(network, 2);
+  plan.channel_shard.front() = 7;
+  EXPECT_THROW(plan.validate(network), std::invalid_argument);
+  plan = ShardPlan::contiguous(network, 2);
+  plan.shards = 0;
+  EXPECT_THROW(plan.validate(network), std::invalid_argument);
+}
+
+TEST(ShardSeed, OneShardKeepsTheBaseSeedExactly) {
+  EXPECT_EQ(ShardedEngine::shard_seed(42, 0, 1), 42u);
+  EXPECT_EQ(ShardedEngine::shard_seed(7, 0, 1), 7u);
+}
+
+TEST(ShardSeed, MultiShardSeedsAreDistinctAndDeterministic) {
+  std::set<std::uint64_t> seeds;
+  for (std::uint32_t shard = 0; shard < 8; ++shard) {
+    const auto seed = ShardedEngine::shard_seed(42, shard, 8);
+    EXPECT_EQ(seed, ShardedEngine::shard_seed(42, shard, 8));
+    seeds.insert(seed);
+  }
+  EXPECT_EQ(seeds.size(), 8u);
+  EXPECT_NE(ShardedEngine::shard_seed(42, 0, 8),
+            ShardedEngine::shard_seed(43, 0, 8));
+}
+
+TEST(ShardedEngine, FourShardSplicerRunExercisesTheCoordinator) {
+  // A real multi-hub workload on 4 shards: payments resolve, funds conserve
+  // per shard (finish_run() throws otherwise), TUs cross shard boundaries,
+  // and the merged metrics stay internally consistent.
+  const auto scenario = prepare_scenario(tiny_config(52));
+  ShardedEngineConfig sharded;
+  sharded.shards = 4;
+  const auto m =
+      run_scheme_sharded(scenario, Scheme::kSplicer, SchemeConfig{}, sharded);
+  EXPECT_EQ(m.payments_generated, 150u);
+  EXPECT_EQ(m.payments_completed + m.payments_failed, 150u);
+  EXPECT_GT(m.payments_completed, 0u);
+  EXPECT_GT(m.cross_shard_messages, 0u);
+  EXPECT_GT(m.shard_barriers, 0u);
+  EXPECT_EQ(m.tus_delivered + m.tus_failed, m.tus_sent);
+}
+
+TEST(ShardedEngine, ExplicitThreadCountsAgree) {
+  // Worker count is an execution detail, never a semantic input: 1-thread
+  // and 4-thread executions of the same 4-shard run must agree exactly.
+  const auto scenario = prepare_scenario(tiny_config(53));
+  EngineMetrics results[2];
+  std::size_t i = 0;
+  for (const std::size_t threads : {std::size_t{1}, std::size_t{4}}) {
+    ShardedEngineConfig sharded;
+    sharded.shards = 4;
+    sharded.threads = threads;
+    results[i++] =
+        run_scheme_sharded(scenario, Scheme::kSpider, SchemeConfig{}, sharded);
+  }
+  EXPECT_EQ(results[0].payments_completed, results[1].payments_completed);
+  EXPECT_EQ(results[0].tus_sent, results[1].tus_sent);
+  EXPECT_EQ(results[0].scheduler_events, results[1].scheduler_events);
+  EXPECT_EQ(results[0].messages.total(), results[1].messages.total());
+  EXPECT_EQ(results[0].simulated_seconds, results[1].simulated_seconds);
+}
+
+TEST(ShardedEngine, BarrierPeriodDefaultsToSettlementEpoch) {
+  // With batched settlement on, the barrier grid coincides with the
+  // settlement grid (both quantisations in lock-step); the run stays sane.
+  const auto scenario = prepare_scenario(tiny_config(54));
+  SchemeConfig config;
+  config.engine.settlement_epoch_s = 0.005;
+  ShardedEngineConfig sharded;
+  sharded.shards = 2;
+  const auto m = run_scheme_sharded(scenario, Scheme::kSplicer, config, sharded);
+  EXPECT_EQ(m.payments_completed + m.payments_failed, 150u);
+  EXPECT_GT(m.settlement_flushes, 0u);
+}
+
+TEST(ShardedEngine, RouterMapsAreEmptyAfterEveryShardRun) {
+  // Satellite contract: on_payment_resolved fires for every payment at
+  // quiescence, so no router-side per-payment map can outlive its payment —
+  // on any shard, sequential or sharded, with or without retention.
+  const auto scenario = prepare_scenario(tiny_config(55));
+  for (const std::uint32_t shards : {1u, 4u}) {
+    for (const bool retain : {true, false}) {
+      SchemeConfig config;
+      config.engine.retain_resolved = retain;
+      ShardedEngineConfig sharded_config;
+      sharded_config.shards = shards;
+
+      {
+        const ShardPlan plan = ShardPlan::hub_affinity(
+            scenario.multi_star.network, scenario.multi_star.hub_of,
+            scenario.multi_star.hubs, shards);
+        auto engine_config = config.engine;
+        engine_config.queues_enabled = true;
+        ShardedEngine engine(
+            scenario.multi_star.network, scenario.make_source(),
+            [&](std::uint32_t) -> std::unique_ptr<Router> {
+              SplicerRouter::Config rc;
+              rc.protocol = config.protocol;
+              return std::make_unique<SplicerRouter>(
+                  scenario.multi_star.hub_of, scenario.multi_star.hubs, rc);
+            },
+            plan, engine_config, sharded_config);
+        (void)engine.run();
+        for (std::uint32_t s = 0; s < shards; ++s) {
+          const auto& router =
+              dynamic_cast<const RateRouterBase&>(engine.router(s));
+          EXPECT_EQ(router.tracked_payments(), 0u)
+              << "Splicer shard " << s << " retain=" << retain;
+        }
+      }
+      {
+        const ShardPlan plan = ShardPlan::contiguous(scenario.raw, shards);
+        auto engine_config = config.engine;
+        engine_config.queues_enabled = false;
+        ShardedEngine engine(
+            scenario.raw, scenario.make_source(),
+            [](std::uint32_t) -> std::unique_ptr<Router> {
+              return std::make_unique<FlashRouter>();
+            },
+            plan, engine_config, sharded_config);
+        (void)engine.run();
+        for (std::uint32_t s = 0; s < shards; ++s) {
+          const auto& router =
+              dynamic_cast<const FlashRouter&>(engine.router(s));
+          EXPECT_EQ(router.tracked_payments(), 0u)
+              << "Flash shard " << s << " retain=" << retain;
+        }
+      }
+      {
+        const ShardPlan plan = ShardPlan::contiguous(scenario.raw, shards);
+        auto engine_config = config.engine;
+        engine_config.queues_enabled = false;
+        ShardedEngine engine(
+            scenario.raw, scenario.make_source(),
+            [](std::uint32_t) -> std::unique_ptr<Router> {
+              return std::make_unique<LandmarkRouter>();
+            },
+            plan, engine_config, sharded_config);
+        (void)engine.run();
+        for (std::uint32_t s = 0; s < shards; ++s) {
+          const auto& router =
+              dynamic_cast<const LandmarkRouter&>(engine.router(s));
+          EXPECT_EQ(router.tracked_payments(), 0u)
+              << "Landmark shard " << s << " retain=" << retain;
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace splicer::routing

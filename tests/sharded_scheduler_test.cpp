@@ -1,0 +1,292 @@
+// ShardedScheduler: mailbox drain order, barrier clamping, cross-shard
+// cancellation at barriers, drive() windowing/fast-forward, and the
+// interleaving-independence contract (same results for any worker count).
+
+#include "sim/sharded_scheduler.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "sim/scheduler.h"
+#include "sim/thread_pool.h"
+
+namespace splicer::sim {
+namespace {
+
+EngineEvent tagged(std::uint64_t a) {
+  EngineEvent event;
+  event.kind = EngineEvent::Kind::kRouterTimer;
+  event.a = a;
+  return event;
+}
+
+/// One shard: a scheduler plus a log of (fire time, tag) in firing order.
+struct Shard final : EventSink {
+  Scheduler scheduler;
+  std::vector<std::pair<Time, std::uint64_t>> log;
+
+  Shard() { scheduler.set_sink(this); }
+  void handle_event(const EngineEvent& event) override {
+    log.emplace_back(scheduler.now(), event.a);
+  }
+};
+
+std::vector<Scheduler*> schedulers_of(std::vector<Shard>& shards) {
+  std::vector<Scheduler*> out;
+  for (auto& s : shards) out.push_back(&s.scheduler);
+  return out;
+}
+
+TEST(ShardedScheduler, ValidatesConstruction) {
+  std::vector<Shard> shards(1);
+  EXPECT_THROW(ShardedScheduler({}, 0.01), std::invalid_argument);
+  EXPECT_THROW(ShardedScheduler({nullptr}, 0.01), std::invalid_argument);
+  EXPECT_THROW(ShardedScheduler(schedulers_of(shards), 0.0),
+               std::invalid_argument);
+}
+
+TEST(ShardedScheduler, PostValidatesArguments) {
+  std::vector<Shard> shards(2);
+  ShardedScheduler sharded(schedulers_of(shards), 0.01);
+  EXPECT_THROW(sharded.post(2, 0, 0.0, tagged(1)), std::out_of_range);
+  EXPECT_THROW(sharded.post(0, 2, 0.0, tagged(1)), std::out_of_range);
+  EXPECT_THROW(sharded.post(0, 1, 0.0, EngineEvent{}), std::invalid_argument);
+}
+
+TEST(ShardedScheduler, DrainsInDestinationSourceEmissionOrder) {
+  std::vector<Shard> shards(3);
+  ShardedScheduler sharded(schedulers_of(shards), 0.01);
+
+  // All mail is late (when < barrier), so every message clamps onto the
+  // same timestamp and only the drain order decides the firing order.
+  sharded.post(2, 0, 0.001, tagged(20));
+  sharded.post(2, 0, 0.002, tagged(21));  // same lane: emission order
+  sharded.post(1, 0, 0.003, tagged(10));
+  sharded.post(0, 0, 0.004, tagged(0));
+  EXPECT_TRUE(sharded.mail_pending());
+
+  sharded.drain_mailboxes(0.05);
+  EXPECT_FALSE(sharded.mail_pending());
+  EXPECT_EQ(sharded.messages_delivered(), 4u);
+
+  shards[0].scheduler.run();
+  ASSERT_EQ(shards[0].log.size(), 4u);
+  // Source ascending, then emission order within the (2, 0) lane.
+  EXPECT_EQ(shards[0].log[0], (std::pair<Time, std::uint64_t>{0.05, 0}));
+  EXPECT_EQ(shards[0].log[1], (std::pair<Time, std::uint64_t>{0.05, 10}));
+  EXPECT_EQ(shards[0].log[2], (std::pair<Time, std::uint64_t>{0.05, 20}));
+  EXPECT_EQ(shards[0].log[3], (std::pair<Time, std::uint64_t>{0.05, 21}));
+}
+
+TEST(ShardedScheduler, FutureMailKeepsItsTimestamp) {
+  std::vector<Shard> shards(2);
+  ShardedScheduler sharded(schedulers_of(shards), 0.01);
+  sharded.post(0, 1, 0.5, tagged(7));   // future: keeps 0.5
+  sharded.post(0, 1, 0.002, tagged(8)); // late: clamps to the barrier
+  sharded.drain_mailboxes(0.01);
+  shards[1].scheduler.run();
+  ASSERT_EQ(shards[1].log.size(), 2u);
+  EXPECT_EQ(shards[1].log[0], (std::pair<Time, std::uint64_t>{0.01, 8}));
+  EXPECT_EQ(shards[1].log[1], (std::pair<Time, std::uint64_t>{0.5, 7}));
+}
+
+TEST(ShardedScheduler, CrossShardCancelAtBarrier) {
+  // The coordinator may cancel another shard's pending event while all
+  // workers are parked at a barrier (that is the only safe moment); a
+  // cancelled event never fires, and cancelling it twice is detected.
+  std::vector<Shard> shards(2);
+  ShardedScheduler sharded(schedulers_of(shards), 0.01);
+  const auto id = shards[1].scheduler.at(0.02, tagged(99));
+  shards[1].scheduler.at(0.03, tagged(1));
+
+  EXPECT_TRUE(sharded.shard(1).cancel(id));
+  EXPECT_FALSE(sharded.shard(1).cancel(id));
+
+  ThreadPool pool(2);
+  class Runner final : public ShardedScheduler::ShardRunner {
+   public:
+    explicit Runner(ShardedScheduler& s) : sharded_(s) {}
+    std::size_t run_shard(std::size_t shard, Time until) override {
+      return sharded_.shard(shard).run(until);
+    }
+    void on_barrier(Time) override {}
+
+   private:
+    ShardedScheduler& sharded_;
+  } runner(sharded);
+  sharded.drive(pool, runner);
+
+  ASSERT_EQ(shards[1].log.size(), 1u);
+  EXPECT_EQ(shards[1].log[0].second, 1u);
+}
+
+/// Drive harness: runs each shard's scheduler and records the windows.
+class RecordingRunner : public ShardedScheduler::ShardRunner {
+ public:
+  explicit RecordingRunner(ShardedScheduler& sharded) : sharded_(sharded) {}
+
+  std::size_t run_shard(std::size_t shard, Time until) override {
+    return sharded_.shard(shard).run(until);
+  }
+  void on_barrier(Time barrier) override { barriers.push_back(barrier); }
+  void before_window(Time window_end) override { windows.push_back(window_end); }
+
+  std::vector<Time> barriers;
+  std::vector<Time> windows;
+
+ protected:
+  ShardedScheduler& sharded_;
+};
+
+TEST(ShardedScheduler, DriveFastForwardsOverEmptyEpochs) {
+  std::vector<Shard> shards(2);
+  ShardedScheduler sharded(schedulers_of(shards), 0.01);
+  shards[0].scheduler.at(0.005, tagged(1));
+  shards[1].scheduler.at(0.095, tagged(2));
+
+  ThreadPool pool(2);
+  RecordingRunner runner(sharded);
+  const auto total = sharded.drive(pool, runner);
+
+  EXPECT_EQ(total, 2u);
+  // First window covers 0.005 -> (0, 0.01]; the next pending event is at
+  // 0.095, so the loop jumps straight to (0.01, 0.1] instead of grinding
+  // through eight empty epochs.
+  ASSERT_EQ(runner.windows.size(), 2u);
+  EXPECT_DOUBLE_EQ(runner.windows[0], 0.01);
+  EXPECT_DOUBLE_EQ(runner.windows[1], 0.1);
+  EXPECT_EQ(sharded.barriers(), 2u);
+  EXPECT_DOUBLE_EQ(shards[0].log.at(0).first, 0.005);
+  EXPECT_DOUBLE_EQ(shards[1].log.at(0).first, 0.095);
+}
+
+TEST(ShardedScheduler, DriveStopsAtHardStop) {
+  std::vector<Shard> shards(2);
+  ShardedScheduler sharded(schedulers_of(shards), 0.01);
+  shards[0].scheduler.at(0.004, tagged(1));
+  shards[0].scheduler.at(0.0061, tagged(2));  // past the stop: abandoned
+  shards[1].scheduler.at(5.0, tagged(3));     // far past: abandoned
+
+  class StopRunner final : public RecordingRunner {
+   public:
+    using RecordingRunner::RecordingRunner;
+    [[nodiscard]] Time hard_stop() const override { return 0.006; }
+  };
+
+  ThreadPool pool(2);
+  StopRunner runner(sharded);
+  EXPECT_EQ(sharded.drive(pool, runner), 1u);
+  // The window end itself clamps to the stop, not the grid.
+  ASSERT_EQ(runner.windows.size(), 1u);
+  EXPECT_DOUBLE_EQ(runner.windows[0], 0.006);
+  EXPECT_EQ(shards[0].log.size(), 1u);
+  EXPECT_TRUE(shards[1].log.empty());
+}
+
+TEST(ShardedScheduler, BeforeWindowCanMaterialiseWorkForTheWindow) {
+  // next_work_time() advertises work the schedulers cannot see; drive sizes
+  // the window to cover it and before_window() materialises it, so it fires
+  // at its true timestamp inside that window.
+  std::vector<Shard> shards(2);
+  ShardedScheduler sharded(schedulers_of(shards), 0.01);
+
+  class InjectingRunner final : public RecordingRunner {
+   public:
+    using RecordingRunner::RecordingRunner;
+    [[nodiscard]] Time next_work_time() const override {
+      return injected ? Scheduler::kForever : 0.042;
+    }
+    void before_window(Time window_end) override {
+      RecordingRunner::before_window(window_end);
+      if (!injected && 0.042 <= window_end) {
+        sharded_.shard(1).at(0.042, tagged(5));
+        injected = true;
+      }
+    }
+    bool injected = false;
+  };
+
+  ThreadPool pool(2);
+  InjectingRunner runner(sharded);
+  EXPECT_EQ(sharded.drive(pool, runner), 1u);
+  ASSERT_EQ(shards[1].log.size(), 1u);
+  EXPECT_DOUBLE_EQ(shards[1].log[0].first, 0.042);
+  ASSERT_EQ(runner.windows.size(), 1u);
+  EXPECT_DOUBLE_EQ(runner.windows[0], 0.05);
+}
+
+/// Ping-pong runner: every fired event with a > 0 posts a successor to the
+/// next shard; the full message cascade must be identical no matter how
+/// many workers execute it.
+struct PingPongShard final : EventSink {
+  Scheduler scheduler;
+  std::vector<std::pair<Time, std::uint64_t>> log;
+  ShardedScheduler* sharded = nullptr;
+  std::size_t index = 0;
+
+  PingPongShard() { scheduler.set_sink(this); }
+  void handle_event(const EngineEvent& event) override {
+    log.emplace_back(scheduler.now(), event.a);
+    if (event.a > 0) {
+      const std::size_t to = (index + 1) % sharded->shard_count();
+      sharded->post(index, to, scheduler.now() + 0.003, tagged(event.a - 1));
+    }
+  }
+};
+
+std::vector<std::vector<std::pair<Time, std::uint64_t>>> run_ping_pong(
+    std::size_t workers) {
+  constexpr std::size_t kShards = 4;
+  std::vector<PingPongShard> shards(kShards);
+  std::vector<Scheduler*> schedulers;
+  for (auto& s : shards) schedulers.push_back(&s.scheduler);
+  ShardedScheduler sharded(std::move(schedulers), 0.01);
+  for (std::size_t i = 0; i < kShards; ++i) {
+    shards[i].sharded = &sharded;
+    shards[i].index = i;
+    // Two independent cascades per shard, deliberately colliding in time.
+    shards[i].scheduler.at(0.001 * static_cast<double>(i + 1), tagged(12));
+    shards[i].scheduler.at(0.002, tagged(6));
+  }
+
+  ThreadPool pool(workers);
+  class Runner final : public ShardedScheduler::ShardRunner {
+   public:
+    explicit Runner(ShardedScheduler& s) : sharded_(s) {}
+    std::size_t run_shard(std::size_t shard, Time until) override {
+      return sharded_.shard(shard).run(until);
+    }
+    void on_barrier(Time) override {}
+
+   private:
+    ShardedScheduler& sharded_;
+  } runner(sharded);
+  sharded.drive(pool, runner);
+
+  std::vector<std::vector<std::pair<Time, std::uint64_t>>> logs;
+  for (auto& s : shards) logs.push_back(std::move(s.log));
+  return logs;
+}
+
+TEST(ShardedScheduler, OutcomeIsIndependentOfWorkerCount) {
+  const auto serial = run_ping_pong(1);
+  const auto two = run_ping_pong(2);
+  const auto four = run_ping_pong(4);
+  std::size_t fired = 0;
+  for (const auto& log : serial) fired += log.size();
+  EXPECT_GT(fired, 8u * 13u / 2u);  // the cascades actually ran
+  EXPECT_EQ(serial, two);
+  EXPECT_EQ(serial, four);
+}
+
+TEST(ShardedScheduler, RepeatedRunsAreIdentical) {
+  const auto a = run_ping_pong(4);
+  const auto b = run_ping_pong(4);
+  EXPECT_EQ(a, b);
+}
+
+}  // namespace
+}  // namespace splicer::sim

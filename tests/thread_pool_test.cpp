@@ -69,14 +69,16 @@ TEST(ThreadPool, SubmitToPinsTaskToShard) {
   }
 }
 
-TEST(ThreadPool, ShardIndexWrapsModuloThreadCount) {
+TEST(ThreadPool, OutOfRangeShardIsACheckedError) {
+  // Silent modulo aliasing would fold two logical shards onto one worker
+  // with no signal; the sharded engine relies on this being loud instead.
   ThreadPool pool(2);
-  std::atomic<int> shard_of_task{-2};
-  pool.submit_to(7, [&shard_of_task] {  // 7 % 2 == 1
-    shard_of_task.store(ThreadPool::current_shard());
-  });
+  std::atomic<int> ran{0};
+  EXPECT_THROW(pool.submit_to(7, [&ran] { ++ran; }), std::out_of_range);
+  EXPECT_THROW(pool.submit_to(2, [&ran] { ++ran; }), std::out_of_range);
+  pool.submit_to(1, [&ran] { ++ran; });  // in-range still works
   pool.wait();
-  EXPECT_EQ(shard_of_task.load(), 1);
+  EXPECT_EQ(ran.load(), 1);
 }
 
 TEST(ThreadPool, CurrentShardIsMinusOneOffPool) {

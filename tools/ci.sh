@@ -25,6 +25,15 @@
 # build of the smoke-label ctest subset so eviction-order bugs surface as
 # hard errors instead of flakes.
 #
+# Sharded-engine gates:
+#   * the hot-path JSON must carry the shard-scaling sweep ("shard_sweep"),
+#     which doubles as the 1-shard-parity exerciser (the sweep's shards=1
+#     point runs through the sharded coordinator);
+#   * a splicer_cli --shards 4 run smokes the CLI plumbing;
+#   * a ThreadSanitizer build runs the concurrency-bearing suites
+#     (sharded scheduler/engine, thread pool, parallel runner) so a data
+#     race in the barrier/mailbox protocol is a hard CI error.
+#
 # Usage: tools/ci.sh [build-dir]   (default: build-ci)
 set -euo pipefail
 
@@ -61,8 +70,16 @@ SPLICER_BENCH_FAST=1 \
 echo "CI: engine hot-path microbench (archives BENCH_engine_hotpath.json)"
 "$BUILD_DIR/bench_engine_hotpath" --fast --repeat 2 \
   --json "$BUILD_DIR/BENCH_engine_hotpath.json" > "$SMOKE_DIR/hotpath.txt"
-# The JSON must exist and carry per-scheme events/sec rows.
+# The JSON must exist and carry per-scheme events/sec rows plus the
+# shard-scaling sweep (1/2/4/8 shards with measured + projected speedups).
 grep -q '"events_per_sec"' "$BUILD_DIR/BENCH_engine_hotpath.json"
+grep -q '"shard_sweep"' "$BUILD_DIR/BENCH_engine_hotpath.json"
+grep -q '"projected_speedup"' "$BUILD_DIR/BENCH_engine_hotpath.json"
+
+echo "CI: sharded engine CLI smoke (--shards 4)"
+"$BUILD_DIR/splicer_cli" compare --nodes 60 --payments 300 --shards 4 \
+  > "$SMOKE_DIR/sharded.txt"
+grep -q "sharded: 4 shards" "$SMOKE_DIR/sharded.txt"
 
 echo "CI: trace replay smoke (splicer_cli --workload trace)"
 "$BUILD_DIR/splicer_cli" compare --nodes 60 --workload trace \
@@ -89,5 +106,15 @@ cmake -B "$SAN_DIR" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DSPLICER_SANITIZE=ON -DSPLICER_BUILD_BENCH=OFF
 cmake --build "$SAN_DIR" -j "$JOBS"
 ctest --test-dir "$SAN_DIR" -L smoke --output-on-failure -j "$JOBS"
+
+echo "CI: ThreadSanitizer sharded-engine smoke"
+TSAN_DIR="$BUILD_DIR-tsan"
+cmake -B "$TSAN_DIR" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DSPLICER_SANITIZE=thread -DSPLICER_BUILD_BENCH=OFF
+cmake --build "$TSAN_DIR" -j "$JOBS" --target \
+  sharded_scheduler_test sharded_engine_test thread_pool_test \
+  parallel_experiment_test
+ctest --test-dir "$TSAN_DIR" --output-on-failure -j "$JOBS" \
+  -R 'sharded_scheduler_test|sharded_engine_test|thread_pool_test|parallel_experiment_test'
 
 echo "CI: all green"

@@ -6,7 +6,7 @@
 //                        [--workload synthetic|trace|bursty|hotspot]
 //                        [--trace-file CSV] [--streaming] [--no-retain]
 //                        [--burst-period S] [--burst-amplitude A]
-//                        [--shift-interval S]
+//                        [--shift-interval S] [--shards N]
 //       run all six schemes on one shared scenario and print the comparison;
 //       simulations fan out over N worker threads (0 = all hardware
 //       threads) and, with K > 1, repeat over K derived-seed workloads and
@@ -17,7 +17,11 @@
 //       run pull payments lazily instead of materialising the workload
 //       AND evicts resolved payment states (the retention contract: a
 //       streaming run holds O(concurrency) states, see the "resident"
-//       column); --no-retain forces eviction for materialised runs too
+//       column); --no-retain forces eviction for materialised runs too.
+//       --shards > 1 runs each simulation on N engine shards with
+//       barrier-synchronised cross-shard mailboxes (deterministic for a
+//       fixed N; see README "Parallelism"); requires --trials 1, and
+//       --threads then caps the shard workers instead of the scheme fan-out
 //
 //   splicer_cli place    [--nodes N] [--candidates N] [--omega W] [--seed S]
 //                        [--solver exhaustive|approx|milp|descent]
@@ -44,6 +48,7 @@
 #include "placement/milp_solver.h"
 #include "routing/experiment.h"
 #include "routing/parallel_experiment.h"
+#include "routing/sharded_engine.h"
 #include "splicer/workflow.h"
 
 using namespace splicer;
@@ -136,6 +141,14 @@ int cmd_compare(const Args& args) {
   const auto config = scenario_from(args);
   const std::size_t threads = args.u64("threads", 0);
   const std::size_t trials = std::max<std::uint64_t>(1, args.u64("trials", 1));
+  const auto shards =
+      static_cast<std::uint32_t>(std::max<std::uint64_t>(1, args.u64("shards", 1)));
+  if (shards > 1 && trials > 1) {
+    std::cerr << "error: --shards parallelises inside one simulation and "
+                 "--trials across simulations; combine at most one of them "
+                 "(run --shards with --trials 1)\n";
+    return 1;
+  }
 
   std::cout << "preparing scenario: " << config.topology.nodes << " nodes, ";
   if (config.workload.kind == pcn::WorkloadKind::kTrace) {
@@ -180,7 +193,26 @@ int cmd_compare(const Args& args) {
               << " clients\n";
     warn_trace_skips(prepared.front());
     std::cout << "\n";
-    results = runner.run_prepared(prepared, tasks).front();
+    if (shards > 1) {
+      // Intra-simulation parallelism: each scheme runs once across N
+      // engine shards (schemes stay sequential so the shard workers own
+      // the machine); metrics land in the same trial-0 slot the table
+      // below reads.
+      results.resize(tasks.size());
+      std::uint64_t crossings = 0;
+      for (std::size_t t = 0; t < tasks.size(); ++t) {
+        routing::ShardedEngineConfig sharded;
+        sharded.shards = shards;
+        sharded.threads = threads;
+        results[t].trials.push_back(routing::run_scheme_sharded(
+            prepared.front(), tasks[t].scheme, tasks[t].config, sharded));
+        crossings += results[t].trials.back().cross_shard_messages;
+      }
+      std::cout << "sharded: " << shards << " shards, "
+                << crossings << " cross-shard TU handoffs/results\n";
+    } else {
+      results = runner.run_prepared(prepared, tasks).front();
+    }
   } else {
     if (config.workload.kind == pcn::WorkloadKind::kTrace) {
       // Derived-seed trials re-place their own topologies but replay the
