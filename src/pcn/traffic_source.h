@@ -197,6 +197,8 @@ class TraceSource final : public TrafficSource {
   std::vector<NodeId> clients_;
   WorkloadConfig config_;
   std::ifstream in_;
+  // SPLICER_LINT_ALLOW(unordered-decl): keyed lookup/insert by trace label
+  // only, never iterated; remap assignment follows first-seen file order.
   std::unordered_map<std::string, NodeId> remap_;
   std::size_t next_client_ = 0;  // first-seen round-robin remap cursor
   std::size_t rows_ = 0;         // replayable rows (pre-scan)

@@ -69,6 +69,8 @@ class FlashRouter final : public Router {
 
   Config config_;
   std::map<std::pair<NodeId, NodeId>, std::vector<graph::Path>> mice_cache_;
+  // SPLICER_LINT_ALLOW(unordered-decl): keyed lookup/erase by PaymentId only,
+  // never iterated; per-payment progress order cannot reach the event stream.
   std::unordered_map<PaymentId, PaymentProgress> progress_;
   // Stale balance snapshot shared by elephant max-flow computations.
   std::vector<double> snapshot_forward_;

@@ -58,6 +58,8 @@ class LandmarkRouter final : public Router {
   // Per landmark: BFS parent forest (parent node + connecting edge).
   std::vector<std::vector<NodeId>> parent_;
   std::vector<std::vector<graph::EdgeId>> parent_edge_;
+  // SPLICER_LINT_ALLOW(unordered-decl): keyed lookup/erase by PaymentId only,
+  // never iterated; retry bookkeeping order cannot reach the event stream.
   std::unordered_map<PaymentId, std::size_t> retries_left_;
 };
 

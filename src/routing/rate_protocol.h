@@ -252,7 +252,11 @@ class RateRouterBase : public Router {
   /// reads, bit-identical to recomputing the price per visit.
   std::vector<double> price_flat_;
   std::map<PairKey, PairState> pairs_;
+  // SPLICER_LINT_ALLOW(unordered-decl): keyed O(1) lookup cache over pairs_;
+  // never iterated — every order-sensitive sweep walks the ordered pairs_ map.
   std::unordered_map<std::uint64_t, PairState*> pair_index_;
+  // SPLICER_LINT_ALLOW(unordered-decl): keyed lookup/erase by PaymentId only,
+  // never iterated; iteration order cannot reach the event stream.
   std::unordered_map<PaymentId, PairKey> pair_of_payment_;
 };
 

@@ -95,6 +95,8 @@ class ShardedEngine final : public ShardCoordinator,
   /// Builds the router for one shard. Called once per shard, in shard
   /// order, during construction. Each shard must get its own instance:
   /// routers hold per-payment state and are never shared across threads.
+  // SPLICER_LINT_ALLOW(std-function): construction-time only — invoked once
+  // per shard while building the engine, never on the simulation hot path.
   using RouterFactory = std::function<std::unique_ptr<Router>(std::uint32_t)>;
 
   /// `network` is copied once per shard. `source` feeds the whole

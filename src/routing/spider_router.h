@@ -48,6 +48,8 @@ class SpiderRouter final : public RateRouterBase {
 
  private:
   Config config_;
+  // SPLICER_LINT_ALLOW(unordered-decl): keyed lookup/update by NodeId only,
+  // never iterated; per-sender pacing order cannot reach the event stream.
   std::unordered_map<NodeId, double> sender_busy_until_;
 };
 

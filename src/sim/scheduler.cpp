@@ -92,14 +92,53 @@ bool Scheduler::cancel(EventId id) {
   return true;
 }
 
+// SPLICER_LINT_ALLOW(std-function): definition of the documented periodic-
+// tick fallback variant declared in scheduler.h; not on the hot path.
 void Scheduler::every(Time period, std::function<bool()> callback) {
   after(period, [this, period, cb = std::move(callback)]() mutable {
     if (cb()) every(period, std::move(cb));
   });
 }
 
+#ifdef SPLICER_AUDIT
+void Scheduler::audit_check_pop(const HeapEntry& top) {
+  const bool monotone =
+      top.when > audit_last_when_ ||
+      (top.when == audit_last_when_ && top.seq > audit_last_seq_);
+  if (!monotone) {
+    throw std::logic_error(
+        "Scheduler audit: non-monotone (when, seq) pop — heap order broken");
+  }
+  if (top.when < now_) {
+    throw std::logic_error("Scheduler audit: popped event is in the past");
+  }
+  audit_last_when_ = top.when;
+  audit_last_seq_ = top.seq;
+}
+
+void Scheduler::audit_validate_heap() const {
+  const std::uint32_t size = static_cast<std::uint32_t>(heap_.size());
+  for (std::uint32_t pos = 0; pos < size; ++pos) {
+    const HeapEntry& entry = heap_[pos];
+    if (pos > 0 && fires_before(entry, heap_[(pos - 1) / 4])) {
+      throw std::logic_error(
+          "Scheduler audit: 4-ary heap property violated");
+    }
+    const Node& node = pool_[entry.slot];
+    if (node.heap_pos != pos || node.when != entry.when ||
+        node.seq != entry.seq) {
+      throw std::logic_error(
+          "Scheduler audit: heap entry / pool back-pointer mismatch");
+    }
+  }
+}
+#endif
+
 bool Scheduler::step() {
   if (heap_.empty()) return false;
+#ifdef SPLICER_AUDIT
+  audit_check_pop(heap_[0]);
+#endif
   const std::uint32_t slot = heap_[0].slot;
   Node& node = pool_[slot];
   now_ = node.when;
@@ -131,17 +170,28 @@ void Scheduler::heap_push(std::uint32_t slot) {
   pool_[slot].heap_pos = static_cast<std::uint32_t>(heap_.size());
   heap_.push_back(HeapEntry{node.when, node.seq, slot});
   sift_up(pool_[slot].heap_pos);
+#ifdef SPLICER_AUDIT
+  audit_on_mutation();
+#endif
 }
 
 void Scheduler::heap_remove(std::uint32_t pos) {
   const HeapEntry last = heap_.back();
   heap_.pop_back();
-  if (pos == heap_.size()) return;  // removed the tail entry
+  if (pos == heap_.size()) {
+#ifdef SPLICER_AUDIT
+    audit_on_mutation();
+#endif
+    return;  // removed the tail entry
+  }
   heap_[pos] = last;
   pool_[last.slot].heap_pos = pos;
   // The moved entry may violate the heap property in either direction.
   sift_down(pos);
   sift_up(pool_[last.slot].heap_pos);
+#ifdef SPLICER_AUDIT
+  audit_on_mutation();
+#endif
 }
 
 void Scheduler::sift_up(std::uint32_t pos) {

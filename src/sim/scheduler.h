@@ -27,6 +27,9 @@ using Time = double;  // seconds
 
 class Scheduler {
  public:
+  // SPLICER_LINT_ALLOW(std-function): the documented low-frequency fallback
+  // variant (ticks, tests, tools); hot-path traffic uses typed pooled
+  // EngineEvents that never touch this type-erased path.
   using Callback = std::function<void()>;
   using EventId = std::uint64_t;
 
@@ -61,6 +64,8 @@ class Scheduler {
 
   /// Schedules `callback` every `period` seconds starting at now+period,
   /// until it returns false.
+  // SPLICER_LINT_ALLOW(std-function): periodic ticks fire a handful of times
+  // per simulated second — the documented fallback variant, not the hot path.
   void every(Time period, std::function<bool()> callback);
 
   [[nodiscard]] bool empty() const noexcept { return heap_.empty(); }
@@ -127,6 +132,21 @@ class Scheduler {
   void heap_remove(std::uint32_t pos);
   void sift_up(std::uint32_t pos);
   void sift_down(std::uint32_t pos);
+
+#ifdef SPLICER_AUDIT
+  // Dynamic witness for the heap-order invariant (SPLICER_AUDIT builds):
+  // pops must be monotone in (when, seq) — the firing order the frozen fig7
+  // baseline depends on — and every ~4096 heap mutations the full 4-ary heap
+  // property plus the pool heap_pos back-pointers are re-validated.
+  void audit_check_pop(const HeapEntry& top);
+  void audit_validate_heap() const;
+  void audit_on_mutation() {
+    if ((++audit_mutations_ & 0xfffu) == 0) audit_validate_heap();
+  }
+  Time audit_last_when_ = -kForever;
+  std::uint64_t audit_last_seq_ = 0;
+  std::uint64_t audit_mutations_ = 0;
+#endif
 
   Time now_ = 0.0;
   std::uint64_t next_seq_ = 1;

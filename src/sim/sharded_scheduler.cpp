@@ -5,6 +5,12 @@
 #include <stdexcept>
 #include <utility>
 
+#ifdef SPLICER_AUDIT
+#include <functional>
+#include <string>
+#include <thread>
+#endif
+
 namespace splicer::sim {
 
 ShardedScheduler::ShardedScheduler(std::vector<Scheduler*> shards,
@@ -23,7 +29,36 @@ ShardedScheduler::ShardedScheduler(std::vector<Scheduler*> shards,
   if (!(period_ > 0)) {
     throw std::invalid_argument("ShardedScheduler: barrier period must be > 0");
   }
+#ifdef SPLICER_AUDIT
+  // Value-initialised: 0 = lanes of that source shard unclaimed.
+  audit_lane_owner_ =
+      std::make_unique<std::atomic<std::uint64_t>[]>(shards_.size());
+#endif
 }
+
+#ifdef SPLICER_AUDIT
+void ShardedScheduler::audit_reset_lane_owners() noexcept {
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    audit_lane_owner_[i].store(0, std::memory_order_release);
+  }
+}
+
+void ShardedScheduler::audit_check_lane_writer(std::size_t from) {
+  // |1 keeps a legitimate hash of 0 from reading as "unclaimed".
+  const std::uint64_t self =
+      std::hash<std::thread::id>{}(std::this_thread::get_id()) | 1;
+  std::uint64_t expected = 0;
+  std::atomic<std::uint64_t>& owner = audit_lane_owner_[from];
+  if (!owner.compare_exchange_strong(expected, self,
+                                     std::memory_order_acq_rel) &&
+      expected != self) {
+    throw std::logic_error(
+        "ShardedScheduler audit: second thread posted from source shard " +
+        std::to_string(from) + " within one phase — single-writer lane "
+        "contract violated");
+  }
+}
+#endif
 
 void ShardedScheduler::post(std::size_t from, std::size_t to, Time when,
                             const EngineEvent& event) {
@@ -33,6 +68,9 @@ void ShardedScheduler::post(std::size_t from, std::size_t to, Time when,
   if (event.kind == EngineEvent::Kind::kNone) {
     throw std::invalid_argument("ShardedScheduler::post: event with kind kNone");
   }
+#ifdef SPLICER_AUDIT
+  audit_check_lane_writer(from);
+#endif
   lane(from, to).push_back(Mail{when, event});
 }
 
@@ -94,6 +132,11 @@ std::uint64_t ShardedScheduler::drive(ThreadPool& pool, ShardRunner& runner) {
     const Time until = std::min(target, runner.hard_stop());
     runner.before_window(until);
 
+#ifdef SPLICER_AUDIT
+    // New parallel phase: forget the serial-phase (coordinator) ownership
+    // so each source shard's lanes are claimed by whichever worker runs it.
+    audit_reset_lane_owners();
+#endif
     if (n == 1 || workers == 1) {
       // Degenerate layouts run inline: same window semantics, no
       // cross-thread hand-off cost on the 1-shard parity path.
@@ -106,6 +149,11 @@ std::uint64_t ShardedScheduler::drive(ThreadPool& pool, ShardRunner& runner) {
       }
       pool.wait();
     }
+#ifdef SPLICER_AUDIT
+    // Back on the coordinator: release worker ownership so serial-phase
+    // posts (on_barrier / before_window injection) don't trip the check.
+    audit_reset_lane_owners();
+#endif
     std::size_t window_max = 0;
     for (std::size_t i = 0; i < n; ++i) {
       total += executed[i];

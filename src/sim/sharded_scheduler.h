@@ -30,6 +30,11 @@
 #include <cstdint>
 #include <vector>
 
+#ifdef SPLICER_AUDIT
+#include <atomic>
+#include <memory>
+#endif
+
 #include "sim/engine_event.h"
 #include "sim/scheduler.h"
 #include "sim/thread_pool.h"
@@ -134,6 +139,18 @@ class ShardedScheduler {
   [[nodiscard]] std::vector<Mail>& lane(std::size_t from, std::size_t to) {
     return lanes_[from * shards_.size() + to];
   }
+
+#ifdef SPLICER_AUDIT
+  // Dynamic witness for the single-writer lane contract (SPLICER_AUDIT
+  // builds): the first post() from source shard `from` in a phase claims
+  // that shard's lanes for its thread; a post from any other thread before
+  // the next reset throws. drive() resets ownership at each parallel/serial
+  // phase boundary. The atomics exist only in audit builds — the release
+  // hot path stays lock- and atomic-free.
+  void audit_reset_lane_owners() noexcept;
+  void audit_check_lane_writer(std::size_t from);
+  std::unique_ptr<std::atomic<std::uint64_t>[]> audit_lane_owner_;
+#endif
 
   std::vector<Scheduler*> shards_;
   Time period_;

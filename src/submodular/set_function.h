@@ -19,6 +19,9 @@ using Subset = std::vector<char>;
 /// Evaluation oracle. Implementations should be deterministic.
 struct SetFunction {
   std::size_t ground_size = 0;
+  // SPLICER_LINT_ALLOW(std-function): offline placement-solver oracle,
+  // evaluated during hub selection before any simulation starts — never on
+  // the simulation hot path.
   std::function<double(const Subset&)> value;
 };
 

@@ -1,0 +1,11 @@
+// splicer-lint fixture: bare-allow and unknown-rule meta findings.
+#include <unordered_map>
+
+// SPLICER_LINT_ALLOW(unordered-decl)
+std::unordered_map<int, int> bare_allow_does_not_suppress;
+
+// SPLICER_LINT_ALLOW(no-such-rule): a reason that cannot save an unknown tag.
+std::unordered_map<int, int> unknown_rule_does_not_suppress;
+
+// SPLICER_LINT_ALLOW(unordered-decl):
+std::unordered_map<int, int> empty_reason_is_bare;

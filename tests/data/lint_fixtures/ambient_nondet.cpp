@@ -1,0 +1,22 @@
+// splicer-lint fixture: ambient-nondet — wall clocks, ambient randomness
+// and environment reads in a determinism-critical path.
+#include <chrono>
+#include <cstdlib>
+#include <random>
+
+double bad_clock() {
+  return static_cast<double>(std::chrono::system_clock::now().time_since_epoch().count());
+}
+
+int bad_entropy() {
+  std::random_device rd;
+  return static_cast<int>(rd()) + rand();
+}
+
+// SPLICER_LINT_ALLOW(ambient-nondet): fixture-only; never feeds the event stream.
+long allowed_clock() { return std::chrono::steady_clock::now().time_since_epoch().count(); }
+
+const char* kDoc = "mentions std::random_device and rand() in a string";
+// A comment naming system_clock is not a finding either.
+long bad_time() { return time(nullptr); }
+char* bad_env() { return std::getenv("PATH"); }

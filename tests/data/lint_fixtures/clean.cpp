@@ -1,0 +1,14 @@
+// splicer-lint fixture: clean — ordered containers, no banned tokens.
+#include <map>
+#include <vector>
+
+struct Clean {
+  std::map<int, int> ordered_;
+  std::vector<int> dense_;
+};
+
+int sum(const Clean& c) {
+  int total = 0;
+  for (const auto& [k, v] : c.ordered_) total += v;
+  return total;
+}

@@ -1,0 +1,24 @@
+// splicer-lint fixture: slab-alias — retained slab references across
+// relocation points, and send_tu from on_tu_forwarded.
+struct Engine;
+
+void stale_after_send(Engine& engine) {
+  auto* state = engine.find_payment_state(7);
+  engine.send_tu(3);
+  state->retries++;
+}
+
+void guard_clause_ok(Engine& engine) {
+  auto* state = engine.find_payment_state(7);
+  if (state == nullptr) {
+    engine.fail_payment(7);
+    return;
+  }
+  state->retries++;
+}
+
+struct Router {
+  void on_tu_forwarded(Engine& engine) {
+    engine.send_tu(9);
+  }
+};

@@ -1,0 +1,7 @@
+// splicer-lint fixture: std-function on a simulation path.
+#include <functional>
+
+using BadCallback = std::function<void(int)>;
+
+// SPLICER_LINT_ALLOW(std-function): documented fallback, construction-time only.
+using OkCallback = std::function<void()>;

@@ -1,0 +1,19 @@
+// splicer-lint fixture: unordered-decl and unordered-iter.
+#include <unordered_map>
+#include <unordered_set>
+
+struct Fixture {
+  std::unordered_map<int, int> naked_;
+  // SPLICER_LINT_ALLOW(unordered-decl): keyed lookup only, never iterated.
+  std::unordered_set<int> allowed_;
+};
+
+int iterate(Fixture& f) {
+  int sum = 0;
+  for (const auto& [k, v] : f.naked_) sum += v;
+  // SPLICER_LINT_ALLOW(unordered-iter): order-independent sum, never emitted.
+  for (int v : f.allowed_) sum += v;
+  auto it = f.naked_.begin();
+  (void)it;
+  return sum;
+}

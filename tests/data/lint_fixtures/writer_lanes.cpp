@@ -1,0 +1,9 @@
+// splicer-lint fixture: writer-lanes — mailbox state touched outside its
+// owning component.
+struct Peer {
+  void poke() {
+    lanes_[0].clear();
+    drain_mailboxes(0.0);
+    handoff_inbox_.clear();
+  }
+};

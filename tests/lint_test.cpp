@@ -1,0 +1,183 @@
+// splicer-lint self-test: fixture files with known violations pin the exact
+// (line, rule) output of every rule, allowlist honoring, bare-allow
+// rejection and path scoping — plus the repo-is-clean self-gate, which
+// lints the real tree exactly as tools/ci.sh does and requires zero
+// findings. If a rule regex regresses (misses a violation or fires on
+// clean idiom), a fixture pin breaks before CI does.
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "splicer_lint/lint_core.h"
+
+namespace splicer::lint {
+namespace {
+
+using LineRule = std::pair<int, std::string>;
+
+std::string read_fixture(const std::string& name) {
+  const std::string path = std::string(SPLICER_LINT_FIXTURE_DIR) + "/" + name;
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << "missing fixture " << path;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+std::vector<LineRule> line_rules(const std::vector<Finding>& findings) {
+  std::vector<LineRule> out;
+  out.reserve(findings.size());
+  for (const Finding& f : findings) out.emplace_back(f.line, f.rule);
+  return out;
+}
+
+TEST(LintRules, TableListsEveryRuleOnce) {
+  const std::vector<std::string> expected = {
+      "ambient-nondet", "unordered-decl", "unordered-iter",
+      "std-function",   "slab-alias",     "writer-lanes"};
+  const auto& table = rules();
+  ASSERT_EQ(table.size(), expected.size());
+  for (std::size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_EQ(table[i].id, expected[i]);
+    EXPECT_FALSE(table[i].scope.empty());
+    EXPECT_FALSE(table[i].summary.empty());
+  }
+}
+
+TEST(LintAmbientNondet, FlagsClocksEntropyAndEnv) {
+  const std::string src = read_fixture("ambient_nondet.cpp");
+  const auto findings = lint_source("src/sim/fixture.cpp", src);
+  const std::vector<LineRule> expected = {{8, "ambient-nondet"},
+                                          {12, "ambient-nondet"},
+                                          {13, "ambient-nondet"},
+                                          {21, "ambient-nondet"},
+                                          {22, "ambient-nondet"}};
+  EXPECT_EQ(line_rules(findings), expected);
+}
+
+TEST(LintAmbientNondet, ScopedToDeterminismCriticalDirs) {
+  const std::string src = read_fixture("ambient_nondet.cpp");
+  // Outside src/sim, src/routing, src/pcn the rule does not apply: bench
+  // harnesses may legitimately read wall clocks.
+  EXPECT_TRUE(lint_source("bench/fixture.cpp", src).empty());
+  EXPECT_TRUE(lint_source("src/common/fixture.cpp", src).empty());
+}
+
+TEST(LintUnordered, FlagsDeclsAndIterationHonorsAllows) {
+  const std::string src = read_fixture("unordered.cpp");
+  const auto findings = lint_source("src/routing/fixture.cpp", src);
+  // Line 6: unannotated declaration. Line 13: range-for over a tracked
+  // unordered member. Line 16: explicit .begin() walk. The annotated
+  // declaration (line 8) and annotated loop (line 15) are suppressed.
+  const std::vector<LineRule> expected = {{6, "unordered-decl"},
+                                          {13, "unordered-iter"},
+                                          {16, "unordered-iter"}};
+  EXPECT_EQ(line_rules(findings), expected);
+}
+
+TEST(LintUnordered, CrossFileNamesComeFromOptions) {
+  // Iterating a member whose unordered declaration lives in another file
+  // (the header) is caught only when the tree pass feeds the name in.
+  const std::string src =
+      "int sum() {\n"
+      "  int total = 0;\n"
+      "  for (const auto& [k, v] : remap_) total += v;\n"
+      "  return total;\n"
+      "}\n";
+  EXPECT_TRUE(lint_source("src/pcn/fixture.cpp", src).empty());
+  Options options;
+  options.extra_unordered_names.push_back("remap_");
+  const auto findings = lint_source("src/pcn/fixture.cpp", src, options);
+  const std::vector<LineRule> expected = {{3, "unordered-iter"}};
+  EXPECT_EQ(line_rules(findings), expected);
+}
+
+TEST(LintStdFunction, FlagsUsesAcrossSrcHonorsAllows) {
+  const std::string src = read_fixture("std_function.cpp");
+  const auto findings = lint_source("src/pcn/fixture.cpp", src);
+  const std::vector<LineRule> expected = {{4, "std-function"}};
+  EXPECT_EQ(line_rules(findings), expected);
+  // The rule covers all of src/ (not just the hot dirs) but not tools or
+  // bench harness code.
+  EXPECT_EQ(line_rules(lint_source("src/common/fixture.cpp", src)), expected);
+  EXPECT_TRUE(lint_source("bench/fixture.cpp", src).empty());
+  EXPECT_TRUE(lint_source("tools/fixture.cpp", src).empty());
+}
+
+TEST(LintSlabAlias, FlagsStaleRefsAndForwardHookDispatch) {
+  const std::string src = read_fixture("slab_alias.cpp");
+  const auto findings = lint_source("src/routing/fixture.cpp", src);
+  // Line 8: 'state' used after the send_tu on line 7 relocated the slab.
+  // Line 22: send_tu dispatched from inside on_tu_forwarded. The
+  // guard-clause idiom (fail_payment + return inside an if block, line 14)
+  // must NOT poison the use on line 17.
+  const std::vector<LineRule> expected = {{8, "slab-alias"},
+                                          {22, "slab-alias"}};
+  EXPECT_EQ(line_rules(findings), expected);
+}
+
+TEST(LintSlabAlias, ScopedToRoutingDir) {
+  const std::string src = read_fixture("slab_alias.cpp");
+  EXPECT_TRUE(lint_source("src/common/fixture.cpp", src).empty());
+}
+
+TEST(LintWriterLanes, FlagsMailboxStateOutsideOwner) {
+  const std::string src = read_fixture("writer_lanes.cpp");
+  const auto findings = lint_source("src/sim/fixture.cpp", src);
+  const std::vector<LineRule> expected = {{5, "writer-lanes"},
+                                          {6, "writer-lanes"},
+                                          {7, "writer-lanes"}};
+  EXPECT_EQ(line_rules(findings), expected);
+}
+
+TEST(LintWriterLanes, OwningComponentIsExempt) {
+  EXPECT_TRUE(lint_source("src/sim/sharded_scheduler.cpp",
+                          "void f() { lanes_[0].clear(); }\n")
+                  .empty());
+  EXPECT_TRUE(lint_source("src/routing/engine.cpp",
+                          "void f() { handoff_inbox_.clear(); }\n")
+                  .empty());
+}
+
+TEST(LintAllowMeta, BareAndUnknownAllowsAreFindingsAndSuppressNothing) {
+  const std::string src = read_fixture("allow_meta.cpp");
+  const auto findings = lint_source("src/routing/fixture.cpp", src);
+  const std::vector<LineRule> expected = {
+      {4, "bare-allow"},     {5, "unordered-decl"}, {7, "unknown-rule"},
+      {8, "unordered-decl"}, {10, "bare-allow"},    {11, "unordered-decl"}};
+  EXPECT_EQ(line_rules(findings), expected);
+}
+
+TEST(LintClean, CleanFileHasNoFindings) {
+  const std::string src = read_fixture("clean.cpp");
+  EXPECT_TRUE(lint_source("src/routing/fixture.cpp", src).empty());
+  EXPECT_TRUE(lint_source("src/sim/fixture.cpp", src).empty());
+}
+
+TEST(LintLiterals, BannedTokensInsideStringsAndCommentsDoNotMatch) {
+  const std::string src =
+      "// rand() and lanes_ and std::function<void()> in a comment\n"
+      "const char* doc = \"getenv system_clock lanes_\";\n"
+      "const char* raw = R\"(std::unordered_map<int, int> ghost_;)\";\n";
+  EXPECT_TRUE(lint_source("src/sim/fixture.cpp", src).empty());
+}
+
+// The self-gate: the real tree, linted exactly as tools/ci.sh lints it,
+// must be clean. Every suppression in src/ carries its reason; a new
+// violation (or a new bare allow) fails this test before it fails CI.
+TEST(LintRepo, TreeIsClean) {
+  const auto findings = lint_tree(SPLICER_LINT_REPO_ROOT,
+                                  {"src", "tools", "bench", "examples"});
+  for (const Finding& f : findings) {
+    ADD_FAILURE() << f.file << ":" << f.line << ": [" << f.rule << "] "
+                  << f.message;
+  }
+}
+
+}  // namespace
+}  // namespace splicer::lint

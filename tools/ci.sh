@@ -1,7 +1,9 @@
 #!/usr/bin/env bash
 # Tier-1 CI gate: configure + build with -Wall -Wextra -Werror, run the
-# full ctest suite, then re-run the fast `smoke` label on its own so the
-# cheap-suite subset is exercised exactly as developers use it.
+# static-analysis gates (splicer_lint over the tree, clang-tidy over
+# compile_commands.json when the binary is available), run the full ctest
+# suite, then re-run the fast `smoke` label on its own so the cheap-suite
+# subset is exercised exactly as developers use it.
 #
 # After the unit suites, the fig7 bench runs in its smoke configuration
 # three times to pin the batched-settlement contract:
@@ -25,6 +27,11 @@
 # build of the smoke-label ctest subset so eviction-order bugs surface as
 # hard errors instead of flakes.
 #
+# A SPLICER_AUDIT=ON build then runs the smoke-label suites with the
+# dynamic contract witnesses compiled in (scheduler heap-order invariant,
+# single-writer thread-id asserts on the mailbox lanes) — the runtime
+# backstop for what splicer_lint can only approximate statically.
+#
 # Sharded-engine gates:
 #   * the hot-path JSON must carry the shard-scaling sweep ("shard_sweep"),
 #     which doubles as the 1-shard-parity exerciser (the sweep's shards=1
@@ -43,6 +50,26 @@ JOBS="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 2)"
 
 cmake -B "$BUILD_DIR" -S . -DSPLICER_WERROR=ON -DCMAKE_BUILD_TYPE=Release
 cmake --build "$BUILD_DIR" -j "$JOBS"
+
+echo "CI: splicer-lint repo-contract gate"
+# Hard gate: zero unsuppressed findings across the tree. Every
+# SPLICER_LINT_ALLOW must name a rule and carry a reason (bare allows are
+# findings too), so this line is the machine check behind the determinism
+# contracts README documents under "Static analysis & code contracts".
+"$BUILD_DIR/splicer_lint" --error-on-findings src tools bench examples
+
+echo "CI: clang-tidy over compile_commands.json"
+if command -v clang-tidy >/dev/null 2>&1; then
+  # The curated .clang-tidy (bugprone/performance/concurrency/const subset,
+  # warnings-as-errors) over every src/ TU. xargs fans out one TU per core;
+  # any diagnostic fails the gate.
+  find src -name '*.cpp' -print0 |
+    xargs -0 -P "$JOBS" -n 1 clang-tidy -p "$BUILD_DIR" --quiet
+else
+  # The container image has no clang-tidy; the GitHub `lint` job installs
+  # it and enforces this gate on every push/PR.
+  echo "CI: clang-tidy not found locally; enforced by the workflow lint job"
+fi
 
 ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$JOBS"
 ctest --test-dir "$BUILD_DIR" -L smoke -j "$JOBS"
@@ -106,6 +133,13 @@ cmake -B "$SAN_DIR" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DSPLICER_SANITIZE=ON -DSPLICER_BUILD_BENCH=OFF
 cmake --build "$SAN_DIR" -j "$JOBS"
 ctest --test-dir "$SAN_DIR" -L smoke --output-on-failure -j "$JOBS"
+
+echo "CI: SPLICER_AUDIT smoke subset (dynamic contract witnesses)"
+AUDIT_DIR="$BUILD_DIR-audit"
+cmake -B "$AUDIT_DIR" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DSPLICER_AUDIT=ON -DSPLICER_BUILD_BENCH=OFF
+cmake --build "$AUDIT_DIR" -j "$JOBS"
+ctest --test-dir "$AUDIT_DIR" -L smoke --output-on-failure -j "$JOBS"
 
 echo "CI: ThreadSanitizer sharded-engine smoke"
 TSAN_DIR="$BUILD_DIR-tsan"

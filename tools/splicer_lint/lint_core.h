@@ -1,0 +1,97 @@
+#pragma once
+
+// splicer-lint: repo-contract static analysis for the determinism-critical
+// core. A token/regex-level checker (no compiler front-end, no LLVM dev
+// dependency) that enforces the source-level contracts behind the repo's
+// CI-gated guarantees — the frozen epoch-0 fig7 event stream, 1-shard
+// parity with the sequential engine, and N-shard byte-identity:
+//
+//   ambient-nondet   no wall clocks / ambient randomness / environment
+//                    reads inside src/sim, src/routing, src/pcn — all
+//                    entropy must flow from the seeded common::rng.
+//   unordered-decl   every std::unordered_map/set in those dirs carries an
+//                    adjacent allow annotation (rule id unordered-decl)
+//                    asserting its iteration order can never reach the
+//                    event stream (keyed access only, or sorted first).
+//   unordered-iter   range-for / .begin() iteration over an unordered
+//                    container in those dirs must be annotated or rewritten
+//                    over an ordered/sorted container.
+//   std-function     std::function is banned in src/ (SBO-free type
+//                    erasure heap-allocates on the hot path); use
+//                    common::SmallFunction, or annotate the documented
+//                    fallback variants.
+//   slab-alias       a reference/pointer bound to Engine slab state
+//                    (find_payment_state / payment_state / state_or_orphan)
+//                    must not be used after a slab relocation point
+//                    (send_tu / fail_payment) in the same scope, and
+//                    send_tu must never be dispatched from inside
+//                    on_tu_forwarded (whose TU aliases the live_ slab).
+//   writer-lanes     single-writer mailbox state (ShardedScheduler lanes,
+//                    Engine cross-shard inboxes) is mutated only inside its
+//                    owning component's translation units.
+//
+// Suppression: a finding is allowed by a comment on the same line, or on a
+// comment-only line directly above the offending code, of the form
+//     // SPLICER_LINT_ALLOW(<rule-id>): <non-empty reason>
+// A bare allow (missing or empty reason) and an allow naming an unknown
+// rule are themselves findings (bare-allow / unknown-rule) — the lint
+// rejects them so every suppression documents *why* the contract holds.
+//
+// Being token-level, the checker is deliberately conservative: it sees one
+// file at a time (plus a tree-wide pass that carries unordered-container
+// member names from headers into their .cpp files), tracks brace depth but
+// not control flow, and clears slab-alias poison when the relocating
+// block closes (the guard-clause `if (...) { fail_payment(...); return; }`
+// idiom). False negatives are backstopped by the SPLICER_AUDIT dynamic
+// witnesses and the runtime hard-errors in the engine.
+
+#include <filesystem>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace splicer::lint {
+
+struct Finding {
+  std::string file;     // repo-relative path (forward slashes)
+  int line = 0;         // 1-based
+  std::string rule;     // rule id, e.g. "ambient-nondet"
+  std::string message;
+};
+
+struct RuleInfo {
+  std::string_view id;
+  std::string_view scope;    // human-readable path scope
+  std::string_view summary;
+};
+
+/// The enforced rules, in reporting order (excludes the bare-allow /
+/// unknown-rule meta findings, which police the annotations themselves).
+[[nodiscard]] const std::vector<RuleInfo>& rules();
+
+struct Options {
+  /// Unordered-container variable names declared in *other* files (the
+  /// tree pass feeds header declarations into .cpp scans so iteration over
+  /// a member declared in the header is still caught).
+  std::vector<std::string> extra_unordered_names;
+};
+
+/// Lints one in-memory source. `virtual_path` is the repo-relative path
+/// used for rule scoping (tests lint fixture content under fake paths).
+[[nodiscard]] std::vector<Finding> lint_source(std::string_view virtual_path,
+                                               std::string_view content,
+                                               const Options& options = {});
+
+/// Names of unordered-container variables declared in `content` (pass 1 of
+/// the tree-wide cross-file iteration check).
+[[nodiscard]] std::vector<std::string> unordered_container_names(
+    std::string_view content);
+
+/// Recursively lints every .h/.hpp/.cpp/.cc/.cxx under each root (a file or
+/// directory, relative to `repo_root`). Hidden directories, anything named
+/// build*, and tests/data are skipped. Findings are sorted by (file, line).
+[[nodiscard]] std::vector<Finding> lint_tree(
+    const std::filesystem::path& repo_root,
+    const std::vector<std::string>& roots);
+
+}  // namespace splicer::lint
