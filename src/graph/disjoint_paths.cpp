@@ -21,7 +21,11 @@ const char* to_string(PathType type) noexcept {
 std::vector<Path> edge_disjoint_shortest_paths(const Graph& g, NodeId src,
                                                NodeId dst, std::size_t k) {
   std::vector<Path> result;
-  std::vector<char> disabled(g.edge_count(), 0);
+  // Reused scratch: the k-path selectors run once per (src, dst) pair but
+  // thousands of pairs per experiment; the per-call edge-mask allocation
+  // was measurable on the pair-setup hot path.
+  static thread_local std::vector<char> disabled;
+  disabled.assign(g.edge_count(), 0);
   for (std::size_t i = 0; i < k; ++i) {
     DijkstraOptions options;
     options.disabled_edges = &disabled;

@@ -1,18 +1,31 @@
 #include "graph/graph.h"
 
 #include <algorithm>
+#include <atomic>
 #include <sstream>
 #include <stdexcept>
 
 namespace splicer::graph {
 
-Graph::Graph(std::size_t node_count) : adjacency_(node_count) {}
+namespace {
+/// Process-wide structure-version source. Relaxed is enough: the counter
+/// only needs uniqueness, and the value never orders anything observable
+/// (cache keys rebuild identical content for identical structures).
+std::uint64_t next_structure_version() noexcept {
+  static std::atomic<std::uint64_t> counter{1};
+  return counter.fetch_add(1, std::memory_order_relaxed);
+}
+}  // namespace
+
+Graph::Graph(std::size_t node_count)
+    : adjacency_(node_count), version_(next_structure_version()) {}
 
 EdgeId Graph::add_edge(NodeId u, NodeId v, double weight, double capacity) {
   if (u >= node_count() || v >= node_count()) {
     throw std::out_of_range("Graph::add_edge: node out of range");
   }
   if (u == v) throw std::invalid_argument("Graph::add_edge: self-loop");
+  version_ = next_structure_version();
   const auto id = static_cast<EdgeId>(edges_.size());
   if (edges_.empty()) {
     uniform_weight_ = weight > 0 ? weight : 0.0;

@@ -77,10 +77,21 @@ class Graph {
     return find_edge(u, v) != kInvalidEdge;
   }
 
+  /// Globally unique stamp of this graph's edge structure: assigned fresh
+  /// (from a process-wide counter) at construction and on every add_edge,
+  /// and shared only by copies — equal versions imply equal adjacency.
+  /// Traversal kernels key flattened-adjacency caches on it so repeated
+  /// queries against the same topology skip the per-node vector chase
+  /// (see shortest_path.cpp) without the graph owning any mutable cache.
+  [[nodiscard]] std::uint64_t structure_version() const noexcept {
+    return version_;
+  }
+
  private:
   std::vector<Edge> edges_;
   std::vector<std::vector<HalfEdge>> adjacency_;
   double uniform_weight_ = 0.0;  // see uniform_positive_weight()
+  std::uint64_t version_ = 0;    // see structure_version()
 };
 
 /// A simple (loop-free) path. `nodes` has one more element than `edges`;

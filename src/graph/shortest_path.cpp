@@ -12,6 +12,47 @@ constexpr double kInf = std::numeric_limits<double>::infinity();
 
 using HeapItem = std::pair<double, NodeId>;  // (dist, node)
 
+/// Flattened adjacency (CSR) of one graph structure, rebuilt per
+/// structure_version(): the per-node vector-of-vectors chase was the
+/// dominant cache-miss source in the k-path relaxation loops. Halves are
+/// appended in exactly the adjacency order, so every traversal sees the
+/// identical neighbour sequence — bit-identical results. Thread-local with
+/// a small pool so shard workers alternating between per-shard topologies
+/// (same thread, different engines per barrier window) don't thrash.
+struct CsrView {
+  std::uint64_t version = 0;  // 0 = empty slot (real versions start at 1)
+  std::uint64_t last_used = 0;
+  std::vector<std::uint32_t> offsets;  // node -> first half index
+  std::vector<HalfEdge> halves;
+};
+
+const CsrView& csr_for(const Graph& g) {
+  static thread_local CsrView pool[4];
+  static thread_local std::uint64_t use_clock = 0;
+  const std::uint64_t version = g.structure_version();
+  CsrView* slot = nullptr;
+  for (auto& view : pool) {
+    if (view.version == version) {
+      view.last_used = ++use_clock;
+      return view;
+    }
+    if (slot == nullptr || view.last_used < slot->last_used) slot = &view;
+  }
+  slot->version = version;
+  slot->last_used = ++use_clock;
+  slot->offsets.assign(g.node_count() + 1, 0);
+  for (NodeId n = 0; n < g.node_count(); ++n) {
+    slot->offsets[n + 1] =
+        slot->offsets[n] + static_cast<std::uint32_t>(g.degree(n));
+  }
+  slot->halves.resize(slot->offsets[g.node_count()]);
+  for (NodeId n = 0; n < g.node_count(); ++n) {
+    std::uint32_t at = slot->offsets[n];
+    for (const auto& half : g.neighbors(n)) slot->halves[at++] = half;
+  }
+  return *slot;
+}
+
 /// Relaxation loop with the option checks hoisted to compile time — the
 /// k-path selectors call dijkstra thousands of times per run, and the
 /// per-edge null checks dominated the inner loop. Pop order is the strict
@@ -20,6 +61,7 @@ using HeapItem = std::pair<double, NodeId>;  // (dist, node)
 template <bool kWeights, bool kDisabledEdges, bool kDisabledNodes>
 void dijkstra_loop(const Graph& g, const DijkstraOptions& options,
                    std::vector<HeapItem>& heap, DijkstraResult& result) {
+  const CsrView& csr = csr_for(g);
   const std::greater<HeapItem> later;
   while (!heap.empty()) {
     const auto [d, u] = heap.front();
@@ -27,7 +69,10 @@ void dijkstra_loop(const Graph& g, const DijkstraOptions& options,
     heap.pop_back();
     if (d > result.dist[u]) continue;  // stale entry
     if (u == options.stop_at) break;   // settled: its parent chain is final
-    for (const auto& half : g.neighbors(u)) {
+    const std::uint32_t begin = csr.offsets[u];
+    const std::uint32_t end = csr.offsets[u + 1];
+    for (std::uint32_t h = begin; h < end; ++h) {
+      const HalfEdge half = csr.halves[h];
       if constexpr (kDisabledEdges) {
         if ((*options.disabled_edges)[half.edge]) continue;
       }
@@ -78,9 +123,18 @@ namespace {
 /// same parents, same accumulated dist doubles, same early-exit cut — with
 /// no heap traffic at all. The PCN topologies are hop-weighted, so this is
 /// the common case for the k-path selectors.
+///
+/// Goal-directed cut: under uniform weights a node's (dist, parent,
+/// parent_edge) are final the moment they are first assigned — every later
+/// relaxation of the node offers the same level distance and fails the
+/// strict `<`. So when `stop_at` is set the search can return at the
+/// assignment itself, not when the node's level is processed: the parent
+/// chain extract_path walks is already exactly the one the full run (and
+/// the heap loop) would produce.
 template <bool kDisabledEdges, bool kDisabledNodes>
 void uniform_level_loop(const Graph& g, const DijkstraOptions& options,
                         double weight, NodeId src, DijkstraResult& result) {
+  const CsrView& csr = csr_for(g);
   static thread_local std::vector<NodeId> level;
   static thread_local std::vector<NodeId> next;
   level.clear();
@@ -91,7 +145,10 @@ void uniform_level_loop(const Graph& g, const DijkstraOptions& options,
     for (const NodeId u : level) {
       if (u == options.stop_at) return;  // settled: parent chain is final
       const double d = result.dist[u];
-      for (const auto& half : g.neighbors(u)) {
+      const std::uint32_t begin = csr.offsets[u];
+      const std::uint32_t end = csr.offsets[u + 1];
+      for (std::uint32_t h = begin; h < end; ++h) {
+        const HalfEdge half = csr.halves[h];
         if constexpr (kDisabledEdges) {
           if ((*options.disabled_edges)[half.edge]) continue;
         }
@@ -103,6 +160,7 @@ void uniform_level_loop(const Graph& g, const DijkstraOptions& options,
           result.dist[half.to] = nd;
           result.parent[half.to] = u;
           result.parent_edge[half.to] = half.edge;
+          if (half.to == options.stop_at) return;  // assignment is final
           next.push_back(half.to);
         }
       }

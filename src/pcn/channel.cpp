@@ -25,6 +25,7 @@ bool Channel::lock(Direction d, Amount value) {
   if (balance < value) return false;
   balance -= value;
   locked_[dir_index(d)] += value;
+  ++generation_;
   return true;
 }
 
@@ -35,6 +36,7 @@ void Channel::settle(Direction d, Amount value) {
   }
   lock_pool -= value;
   balance_[dir_index(opposite(d))] += value;
+  ++generation_;
 }
 
 void Channel::refund(Direction d, Amount value) {
@@ -44,6 +46,7 @@ void Channel::refund(Direction d, Amount value) {
   }
   lock_pool -= value;
   balance_[dir_index(d)] += value;
+  ++generation_;
 }
 
 void Channel::settle_n(Direction d, Amount total, std::uint64_t count) {
@@ -69,6 +72,7 @@ bool Channel::transfer(Direction d, Amount value) {
   if (from < value) return false;
   from -= value;
   balance_[dir_index(opposite(d))] += value;
+  ++generation_;
   return true;
 }
 

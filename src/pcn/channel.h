@@ -10,6 +10,8 @@
 // (balances + locks) is invariant under all three operations, which is the
 // basis of the simulator's funds-conservation checks.
 
+#include <cstdint>
+
 #include "pcn/types.h"
 
 namespace splicer::pcn {
@@ -74,11 +76,22 @@ class Channel {
   /// Imbalance |balance_ab - balance_ba| (diagnostics / rebalancing tests).
   [[nodiscard]] Amount imbalance() const noexcept;
 
+  /// Count of fund-moving operations (lock/settle/refund/transfer,
+  /// including the batched *_n forms) applied since construction. A cheap
+  /// change stamp: two snapshots with equal generation saw no mutation in
+  /// between, so any derived per-channel quantity is still valid. The
+  /// engine's dirty-channel list (Engine::mark_channel_dirty) is built on
+  /// the same mutation sites; incremental rate-control uses the list for
+  /// per-tick work and this counter for cross-mode validation (two runs
+  /// that executed identical mutation sequences end at equal generations).
+  [[nodiscard]] std::uint64_t generation() const noexcept { return generation_; }
+
  private:
   NodeId node_a_;
   NodeId node_b_;
   Amount balance_[2];
   Amount locked_[2];
+  std::uint64_t generation_ = 0;
 };
 
 }  // namespace splicer::pcn

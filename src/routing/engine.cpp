@@ -56,6 +56,12 @@ void EngineMetrics::merge_from(const EngineMetrics& other) {
   failed_delivered_value += other.failed_delivered_value;
   cross_shard_messages += other.cross_shard_messages;
   shard_barriers += other.shard_barriers;
+  price_updates_skipped += other.price_updates_skipped;
+  probe_sums_reused += other.probe_sums_reused;
+  // Each shard's router sweeps its own pair set; the simultaneous total
+  // across shards is the sum of the per-shard peaks' upper bound, matching
+  // the other peak fields' merge convention.
+  active_pairs_peak += other.active_pairs_peak;
 }
 
 Engine::Engine(pcn::Network network, std::unique_ptr<pcn::TrafficSource> source,
@@ -121,6 +127,7 @@ void Engine::handle_event(const sim::EngineEvent& event) {
       const pcn::Direction d = ch.direction_from(event.aux);
       const auto amount = static_cast<Amount>(event.a);
       ++metrics_.messages.ack_messages;
+      mark_channel_dirty(event.channel);
       if (event.kind == Kind::kSettleAck) {
         ch.settle(d, amount);
         // The receiving side gained spendable funds: opposite direction.
@@ -558,6 +565,7 @@ void Engine::attempt_hop(TuId id) {
     return;
   }
   live.hop_locked[hop] = 1;
+  mark_channel_dirty(channel);
   ds.next_free = std::max(scheduler_.now(), ds.next_free) +
                  common::to_tokens(amount) / config_.process_rate_tokens_per_s;
   ++metrics_.messages.data_hops;
@@ -952,6 +960,7 @@ void Engine::flush_settlements(bool drain) {
     const ChannelId channel = channel_of(idx);
     const pcn::Direction d = direction_of(idx);
     auto& ch = network_.channel(channel);
+    if (p.settle_ops > 0 || p.refund_ops > 0) mark_channel_dirty(channel);
     if (p.settle_ops > 0) {
       ch.settle_n(d, p.settle_total, p.settle_ops);
       // The receiving side gained spendable funds: opposite direction.

@@ -1,0 +1,12 @@
+// splicer-lint fixture: writer-lanes — rate-router active-set scheduling
+// state touched outside the router core. The active lists and wake
+// machinery keep the incremental tick bit-identical to the full sweep;
+// outside writers would break the retire/wake invariants silently.
+struct Meddler {
+  void poke() {
+    active_pairs_.clear();
+    active_channels_.push_back(3);
+    sleep_subs_[0].clear();
+    wake_heap_.pop_back();
+  }
+};

@@ -135,12 +135,25 @@ TEST(LintWriterLanes, FlagsMailboxStateOutsideOwner) {
   EXPECT_EQ(line_rules(findings), expected);
 }
 
+TEST(LintWriterLanes, FlagsRateRouterActiveSetOutsideOwner) {
+  const std::string src = read_fixture("active_list.cpp");
+  const auto findings = lint_source("src/routing/fixture.cpp", src);
+  const std::vector<LineRule> expected = {{7, "writer-lanes"},
+                                          {8, "writer-lanes"},
+                                          {9, "writer-lanes"},
+                                          {10, "writer-lanes"}};
+  EXPECT_EQ(line_rules(findings), expected);
+}
+
 TEST(LintWriterLanes, OwningComponentIsExempt) {
   EXPECT_TRUE(lint_source("src/sim/sharded_scheduler.cpp",
                           "void f() { lanes_[0].clear(); }\n")
                   .empty());
   EXPECT_TRUE(lint_source("src/routing/engine.cpp",
                           "void f() { handoff_inbox_.clear(); }\n")
+                  .empty());
+  EXPECT_TRUE(lint_source("src/routing/rate_protocol.cpp",
+                          "void f() { active_pairs_.clear(); }\n")
                   .empty());
 }
 

@@ -90,6 +90,18 @@ SPLICER_BENCH_FAST=1 SPLICER_BENCH_CSV="$SMOKE_DIR/epoch0" \
   "$BUILD_DIR/bench_fig7_small_scale" --settlement-epoch 0 > "$SMOKE_DIR/epoch0.txt"
 diff -r "$SMOKE_DIR/baseline" "$SMOKE_DIR/epoch0"
 
+echo "CI: fig7 smoke, forced full-recompute ticks (must match incremental)"
+# The default run above used the incremental rate-control tick
+# (dirty-channel price updates, memoized probe sums, sleeping pairs);
+# SPLICER_FULL_RECOMPUTE=1 forces the legacy full per-tick sweep. The two
+# modes must produce byte-identical CSVs — the incremental tick is a pure
+# wall-time optimisation.
+mkdir -p "$SMOKE_DIR/fullticks"
+SPLICER_BENCH_FAST=1 SPLICER_BENCH_CSV="$SMOKE_DIR/fullticks" \
+  SPLICER_FULL_RECOMPUTE=1 \
+  "$BUILD_DIR/bench_fig7_small_scale" --threads 1 > "$SMOKE_DIR/fullticks.txt"
+diff -r "$SMOKE_DIR/baseline" "$SMOKE_DIR/fullticks"
+
 echo "CI: fig7 smoke, batched settlement (epoch 10 ms)"
 SPLICER_BENCH_FAST=1 \
   "$BUILD_DIR/bench_fig7_small_scale" --settlement-epoch 10 > "$SMOKE_DIR/epoch10.txt"
@@ -102,6 +114,12 @@ echo "CI: engine hot-path microbench (archives BENCH_engine_hotpath.json)"
 grep -q '"events_per_sec"' "$BUILD_DIR/BENCH_engine_hotpath.json"
 grep -q '"shard_sweep"' "$BUILD_DIR/BENCH_engine_hotpath.json"
 grep -q '"projected_speedup"' "$BUILD_DIR/BENCH_engine_hotpath.json"
+# The incremental rate-control tick must actually be doing its job: at
+# least one rate scheme row carries nonzero skipped-update / reused-sum
+# counters (all zero would mean the fast path silently degraded to the
+# full sweep).
+grep -q '"price_updates_skipped": [1-9]' "$BUILD_DIR/BENCH_engine_hotpath.json"
+grep -q '"probe_sums_reused": [1-9]' "$BUILD_DIR/BENCH_engine_hotpath.json"
 
 echo "CI: sharded engine CLI smoke (--shards 4)"
 "$BUILD_DIR/splicer_cli" compare --nodes 60 --payments 300 --shards 4 \
