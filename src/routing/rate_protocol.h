@@ -308,8 +308,12 @@ class RateRouterBase : public Router {
   void schedule_drip(Engine& engine, const PairKey& pair, std::size_t path_index);
   void try_send(Engine& engine, const PairKey& pair, std::size_t path_index);
   [[nodiscard]] double total_pair_rate(const PairState& pair) const;
-  [[nodiscard]] std::vector<Amount> fee_schedule(const PathState& path,
-                                                 Amount value) const;
+  /// Per-hop amounts (eq. 24) for a TU of `value` on `path`, filled into
+  /// fee_scratch_ — valid until the next fee_schedule call. Rejected admits
+  /// (funds short, window re-check) thus cost no allocation; only a TU that
+  /// is actually sent copies the schedule into its own storage.
+  [[nodiscard]] const std::vector<Amount>& fee_schedule(const PathState& path,
+                                                        Amount value) const;
 
   /// The one fee policy (eq. 24's rate term): shared by the public
   /// fee_rate() and the flat-array fee schedule so the formula can never
@@ -404,6 +408,11 @@ class RateRouterBase : public Router {
   // SPLICER_LINT_ALLOW(unordered-decl): keyed lookup/erase by PaymentId only,
   // never iterated; iteration order cannot reach the event stream.
   std::unordered_map<PaymentId, PairKey> pair_of_payment_;
+  /// fee_schedule's output buffer: one live schedule at a time (try_send
+  /// consumes it before the next call), so the per-TU vector is hoisted out
+  /// of the send path — capacity reaches the longest path's hop count once
+  /// and stays there. Mutable because fee_schedule is logically const.
+  mutable std::vector<Amount> fee_scratch_;
 };
 
 }  // namespace splicer::routing

@@ -1,0 +1,12 @@
+// call-graph fixture: a bare call inside a method prefers the sibling
+// method over a free function of the same name; the same bare call in a
+// free function takes the free definition. Pinned by
+// CallGraphCorpus.MethodShadowsFreeFunction.
+int tally() { return 0; }
+
+struct Counter {
+  int tally() { return 1; }
+  int total() { return tally(); }
+};
+
+int outside() { return tally(); }

@@ -1,0 +1,7 @@
+// call-graph fixture: a call into an overload set over-approximates to an
+// edge per overload (safe for reachability). Pinned by
+// CallGraphCorpus.OverloadsGetAnEdgeEach.
+int pick(int v) { return v; }
+int pick(double v) { return static_cast<int>(v); }
+
+int use() { return pick(3); }

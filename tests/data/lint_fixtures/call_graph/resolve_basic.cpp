@@ -1,0 +1,12 @@
+// call-graph fixture: basic resolution — free functions, methods, bare and
+// qualified calls. Pinned by CallGraphCorpus.ResolveBasic.
+int leaf() { return 1; }
+
+int caller() { return leaf(); }
+
+struct Widget {
+  int helper() { return leaf(); }
+  int run();
+};
+
+int Widget::run() { return helper() + caller(); }

@@ -1,0 +1,13 @@
+// call-graph fixture: a member call whose name is defined by two classes
+// cannot be pinned without receiver types — it is recorded as an
+// unresolved call (deliberately visible, never silently dropped). Pinned
+// by CallGraphCorpus.AmbiguousMemberCallIsUnresolved.
+struct Alpha {
+  void tick() {}
+};
+struct Beta {
+  void tick() {}
+};
+
+template <typename T>
+void drive(T& obj) { obj.tick(); }

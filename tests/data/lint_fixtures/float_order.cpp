@@ -1,0 +1,27 @@
+// float-order fixture: the floating accumulation lives in a helper reached
+// from merge(); the annotated twin pins the sanctioned shape. Pinned by
+// LintInterproc.FloatOrder*.
+struct ShardStats {
+  double mean_ = 0.0;
+  long count_ = 0;
+  void merge(const ShardStats& other);
+  void fold_in(const ShardStats& other);
+};
+
+void ShardStats::merge(const ShardStats& other) { fold_in(other); }
+
+void ShardStats::fold_in(const ShardStats& other) {
+  const double weight = other.mean_;
+  mean_ += weight;
+  count_ += other.count_;
+}
+
+struct OkStats {
+  double sum_ = 0.0;
+  void merge(const OkStats& other) {
+    const double incoming = other.sum_;
+    // SPLICER_LINT_ALLOW(float-order): shards are folded in ascending
+    // shard index on the coordinator thread; the order never varies.
+    sum_ += incoming;
+  }
+};

@@ -1,0 +1,28 @@
+// hotpath-alloc fixture: the allocation hides two calls below the hot
+// entry point — only the call graph can see it. The annotated pool refill
+// is the sanctioned shape. Pinned by LintInterproc.HotpathAlloc*.
+struct Engine {
+  void handle_event();
+  void dispatch();
+  void build_scratch();
+  void refill_pool();
+};
+
+void Engine::handle_event() {
+  dispatch();
+  refill_pool();
+}
+
+void Engine::dispatch() { build_scratch(); }
+
+void Engine::build_scratch() {
+  int* block = new int[8];
+  delete[] block;
+}
+
+void Engine::refill_pool() {
+  // SPLICER_LINT_ALLOW(hotpath-alloc): pool refill — runs once per pool
+  // exhaustion, amortised across thousands of events.
+  int* block = new int[64];
+  delete[] block;
+}

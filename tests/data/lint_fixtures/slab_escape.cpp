@@ -1,0 +1,24 @@
+// slab-alias-escape fixture: the slab reference escapes into a helper that
+// reaches send_tu one call deep; the annotated twin documents why its
+// callee cannot relocate before the last use. Pinned by
+// LintInterproc.SlabAliasEscape*.
+struct Engine {
+  void* find_payment_state(int id);
+  void send_tu(int tu);
+};
+
+void forward_one(Engine& engine, void* state) {
+  engine.send_tu(1);
+}
+
+void bad_driver(Engine& engine) {
+  auto* state = engine.find_payment_state(7);
+  forward_one(engine, state);
+}
+
+void ok_driver(Engine& engine) {
+  auto* state = engine.find_payment_state(9);
+  // SPLICER_LINT_ALLOW(slab-alias-escape): forward_one reads the state
+  // before its send_tu and never touches it afterwards.
+  forward_one(engine, state);
+}

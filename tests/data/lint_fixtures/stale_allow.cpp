@@ -1,0 +1,13 @@
+// stale-allow fixture: the first allow still suppresses a live finding
+// (used); the second excuses code that was since fixed — in tree runs it
+// must surface as a stale-allow finding. Pinned by LintStaleAllow.*.
+#include <unordered_map>
+
+struct Table {
+  // SPLICER_LINT_ALLOW(unordered-decl): keyed O(1) lookups only; no loop
+  // ever walks this map, so iteration order cannot reach the event stream.
+  std::unordered_map<int, int> used_;
+  // SPLICER_LINT_ALLOW(unordered-decl): this map was replaced by a sorted
+  // vector long ago; the annotation outlived the code it excused.
+  int stale_[4];
+};

@@ -1,0 +1,13 @@
+// writer-lanes-transitive fixture (owner half, linted as
+// src/sim/sharded_scheduler.cpp): helpers inside the owning component may
+// touch lanes_; post() is a sanctioned entry API. Pinned by
+// LintInterproc.WriterLanesTransitive*.
+struct ShardedScheduler {
+  void clear_lane(int lane);
+  void post(int lane);
+  int lanes_[8];
+};
+
+void ShardedScheduler::clear_lane(int lane) { lanes_[lane] = 0; }
+
+void ShardedScheduler::post(int lane) { lanes_[lane] += 1; }

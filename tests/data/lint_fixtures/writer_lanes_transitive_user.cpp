@@ -1,0 +1,20 @@
+// writer-lanes-transitive fixture (user half): calling a non-sanctioned
+// helper that writes lanes_ makes this caller a writer — flagged at the
+// call site even though this file never names lanes_ at all. post() is the
+// legal crossing, and the annotated call pins a reasoned exception. Pinned
+// by LintInterproc.WriterLanesTransitive*.
+struct ShardedScheduler;
+
+void bad_reset(ShardedScheduler& sched) {
+  sched.clear_lane(3);
+}
+
+void good_post(ShardedScheduler& sched) {
+  sched.post(3);
+}
+
+void excused_reset(ShardedScheduler& sched) {
+  // SPLICER_LINT_ALLOW(writer-lanes-transitive): test-only teardown drain;
+  // the simulation is single-threaded here and no concurrent writer exists.
+  sched.clear_lane(4);
+}

@@ -56,7 +56,23 @@ echo "CI: splicer-lint repo-contract gate"
 # SPLICER_LINT_ALLOW must name a rule and carry a reason (bare allows are
 # findings too), so this line is the machine check behind the determinism
 # contracts README documents under "Static analysis & code contracts".
+# The run is timed: the two-phase analysis (scrub + call graph + graph
+# rules) must stay cheap enough to sit on the pre-test critical path, so
+# a whole-tree pass over budget is itself a CI failure.
+LINT_BUDGET_SECS=10
+lint_start=$(date +%s)
 "$BUILD_DIR/splicer_lint" --error-on-findings src tools bench examples
+lint_elapsed=$(( $(date +%s) - lint_start ))
+echo "CI: splicer-lint whole-tree run took ${lint_elapsed}s (budget ${LINT_BUDGET_SECS}s)"
+if [ "$lint_elapsed" -gt "$LINT_BUDGET_SECS" ]; then
+  echo "CI: FAIL splicer-lint exceeded its runtime budget" >&2
+  exit 1
+fi
+# Machine-readable report for the workflow artifact: same tree, SARIF 2.1.0
+# with the full rule table as driver metadata.
+"$BUILD_DIR/splicer_lint" --format sarif src tools bench examples \
+  > "$BUILD_DIR/splicer_lint.sarif"
+echo "CI: SARIF report written to $BUILD_DIR/splicer_lint.sarif"
 
 echo "CI: clang-tidy over compile_commands.json"
 if command -v clang-tidy >/dev/null 2>&1; then

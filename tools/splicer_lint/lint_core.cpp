@@ -4,9 +4,14 @@
 #include <cctype>
 #include <fstream>
 #include <iterator>
+#include <map>
 #include <regex>
+#include <set>
 #include <sstream>
 #include <stdexcept>
+
+#include "splicer_lint/call_graph.h"
+#include "splicer_lint/rules_interproc.h"
 
 namespace splicer::lint {
 namespace {
@@ -40,6 +45,24 @@ const std::vector<RuleInfo>& rule_table() {
       {"writer-lanes", "src/",
        "single-writer mailbox lanes and cross-shard inboxes mutate only "
        "inside their owning component"},
+      {"writer-lanes-transitive", "src/ (call graph)",
+       "lane/mailbox ownership propagates through calls: helpers that write "
+       "owned state make their callers writers; only the sanctioned entry "
+       "APIs cross the component boundary"},
+      {"hotpath-alloc", "src/sim, src/routing, src/pcn (call graph)",
+       "no allocation (new/make_unique/container or string construction/"
+       "reserve/resize) reachable from Engine::handle_event, on_timer "
+       "overrides or run_protocol_tick without a reasoned allow"},
+      {"slab-alias-escape", "src/routing (call graph)",
+       "no slab reference passed into a callee that transitively reaches "
+       "send_tu/fail_payment — the callee may relocate the slab it aliases"},
+      {"float-order", "src/ (call graph)",
+       "floating accumulation in merge/parallel contexts (merge, merge_from, "
+       "drain_mailboxes and their callees) is annotated with why summation "
+       "order is deterministic"},
+      {"stale-allow", "everywhere linted",
+       "a SPLICER_LINT_ALLOW whose rule no longer fires on its covered line "
+       "is dead and must be removed (tree runs only)"},
   };
   return kRules;
 }
@@ -64,11 +87,6 @@ bool in_hot_dirs(std::string_view path) {
 // string/char-literal contents (so tokens inside literals never match) while
 // preserving column positions.
 // ---------------------------------------------------------------------------
-
-struct ScrubbedLine {
-  std::string code;     // comments and literal contents replaced by spaces
-  std::string comment;  // comment text only (for SPLICER_LINT_ALLOW parsing)
-};
 
 std::vector<ScrubbedLine> scrub(std::string_view src) {
   enum class State {
@@ -208,18 +226,11 @@ std::string trim(std::string_view s) {
 // Allow annotations
 // ---------------------------------------------------------------------------
 
-struct Allow {
-  int annotation_line = 0;  // where the comment sits (1-based)
-  int covered_line = 0;     // which code line it suppresses
-  std::string tag;
-  bool has_reason = false;
-};
-
 // Matches `SPLICER_LINT_ALLOW(<rule>): <reason>` in comment text.
 const std::regex kAllowRe(
     R"(SPLICER_LINT_ALLOW\s*\(\s*([A-Za-z0-9_-]*)\s*\)\s*(:\s*(.*))?)");
 
-std::vector<Allow> collect_allows(const std::vector<ScrubbedLine>& lines) {
+std::vector<Allow> collect_allows_impl(const std::vector<ScrubbedLine>& lines) {
   std::vector<Allow> allows;
   for (std::size_t i = 0; i < lines.size(); ++i) {
     std::smatch m;
@@ -248,7 +259,7 @@ std::vector<Allow> collect_allows(const std::vector<ScrubbedLine>& lines) {
 }
 
 // ---------------------------------------------------------------------------
-// Per-rule scanners
+// Per-rule token scanners
 // ---------------------------------------------------------------------------
 
 void add(std::vector<Finding>& out, std::string_view path, int line,
@@ -597,20 +608,10 @@ void check_writer_lanes(std::string_view path,
   }
 }
 
-}  // namespace
-
-const std::vector<RuleInfo>& rules() { return rule_table(); }
-
-std::vector<std::string> unordered_container_names(std::string_view content) {
-  return collect_unordered_names(scrub(content));
-}
-
-std::vector<Finding> lint_source(std::string_view virtual_path,
-                                 std::string_view content,
-                                 const Options& options) {
-  const std::vector<ScrubbedLine> lines = scrub(content);
-  const std::vector<Allow> allows = collect_allows(lines);
-
+/// All file-local rule findings for one scrubbed source, unsuppressed.
+std::vector<Finding> token_findings(std::string_view virtual_path,
+                                    const std::vector<ScrubbedLine>& lines,
+                                    const Options& options) {
   std::vector<Finding> raw;
   if (in_hot_dirs(virtual_path)) {
     check_ambient_nondet(virtual_path, lines, raw);
@@ -625,44 +626,157 @@ std::vector<Finding> lint_source(std::string_view virtual_path,
   if (path_in(virtual_path, kRoutingDir)) {
     check_slab_alias(virtual_path, lines, raw);
   }
+  return raw;
+}
 
-  // Apply suppressions: a valid allow (known tag, non-empty reason) covers
-  // findings of its tag on its covered line.
+/// Applies allow suppression to raw findings and polices the annotations
+/// themselves (bare-allow / unknown-rule; stale-allow when requested).
+/// `used` marks which allows suppressed at least one raw finding.
+std::vector<Finding> apply_allows(std::string_view path,
+                                  std::vector<Finding> raw,
+                                  const std::vector<Allow>& allows,
+                                  bool stale_check) {
+  std::vector<char> used(allows.size(), 0);
   std::vector<Finding> out;
   for (Finding& f : raw) {
-    const bool suppressed = std::any_of(
-        allows.begin(), allows.end(), [&](const Allow& a) {
-          return a.has_reason && known_rule(a.tag) && a.tag == f.rule &&
-                 a.covered_line == f.line;
-        });
+    bool suppressed = false;
+    for (std::size_t a = 0; a < allows.size(); ++a) {
+      const Allow& allow = allows[a];
+      if (allow.has_reason && known_rule(allow.tag) && allow.tag == f.rule &&
+          allow.covered_line == f.line) {
+        suppressed = true;
+        used[a] = 1;
+      }
+    }
     if (!suppressed) out.push_back(std::move(f));
   }
 
   // The annotations themselves are linted: a bare allow suppresses nothing
-  // and is an error; so is an allow naming a rule that does not exist.
-  for (const Allow& a : allows) {
-    if (!known_rule(a.tag)) {
+  // and is an error; so is an allow naming a rule that does not exist; and
+  // (tree runs) a valid allow whose rule never fired on its covered line
+  // has rotted and must go.
+  for (std::size_t a = 0; a < allows.size(); ++a) {
+    const Allow& allow = allows[a];
+    if (!known_rule(allow.tag)) {
       std::string known;
       for (const RuleInfo& r : rule_table()) {
         if (!known.empty()) known += ", ";
         known += r.id;
       }
-      add(out, virtual_path, a.annotation_line, "unknown-rule",
-          "SPLICER_LINT_ALLOW names unknown rule '" + a.tag +
+      add(out, path, allow.annotation_line, "unknown-rule",
+          "SPLICER_LINT_ALLOW names unknown rule '" + allow.tag +
               "' (known rules: " + known + ")");
-    } else if (!a.has_reason) {
-      add(out, virtual_path, a.annotation_line, "bare-allow",
-          "SPLICER_LINT_ALLOW(" + a.tag +
+    } else if (!allow.has_reason) {
+      add(out, path, allow.annotation_line, "bare-allow",
+          "SPLICER_LINT_ALLOW(" + allow.tag +
               ") without a reason: every suppression must document why the "
               "contract holds — write 'SPLICER_LINT_ALLOW(" +
-              a.tag + "): <reason>'");
+              allow.tag + "): <reason>'");
+    } else if (stale_check && used[a] == 0 && allow.tag != "stale-allow") {
+      add(out, path, allow.annotation_line, "stale-allow",
+          "SPLICER_LINT_ALLOW(" + allow.tag + ") at line " +
+              std::to_string(allow.annotation_line) +
+              " suppresses nothing: rule '" + allow.tag +
+              "' does not fire on line " +
+              std::to_string(allow.covered_line) +
+              " — the code it excused was fixed or moved; delete the "
+              "annotation (or re-anchor it to the offending line)");
     }
   }
+  return out;
+}
 
+void sort_findings(std::vector<Finding>& findings) {
+  std::sort(findings.begin(), findings.end(),
+            [](const Finding& a, const Finding& b) {
+              if (a.file != b.file) return a.file < b.file;
+              if (a.line != b.line) return a.line < b.line;
+              return a.rule < b.rule;
+            });
+}
+
+}  // namespace
+
+const std::vector<RuleInfo>& rules() { return rule_table(); }
+
+std::vector<ScrubbedLine> scrub_source(std::string_view src) {
+  return scrub(src);
+}
+
+std::vector<Allow> collect_allows(const std::vector<ScrubbedLine>& lines) {
+  return collect_allows_impl(lines);
+}
+
+std::vector<std::string> unordered_container_names(std::string_view content) {
+  return collect_unordered_names(scrub(content));
+}
+
+std::vector<Finding> lint_source(std::string_view virtual_path,
+                                 std::string_view content,
+                                 const Options& options) {
+  const std::vector<ScrubbedLine> lines = scrub(content);
+  const std::vector<Allow> allows = collect_allows_impl(lines);
+  std::vector<Finding> out =
+      apply_allows(virtual_path, token_findings(virtual_path, lines, options),
+                   allows, /*stale_check=*/false);
   std::sort(out.begin(), out.end(), [](const Finding& a, const Finding& b) {
     if (a.line != b.line) return a.line < b.line;
     return a.rule < b.rule;
   });
+  return out;
+}
+
+std::vector<Finding> lint_files(const std::vector<FileContent>& files) {
+  // Scrub everything once; collect the cross-file unordered names.
+  std::vector<std::vector<ScrubbedLine>> scrubbed;
+  scrubbed.reserve(files.size());
+  Options options;
+  for (const FileContent& f : files) {
+    scrubbed.push_back(scrub(f.content));
+    if (in_hot_dirs(f.path)) {
+      for (std::string& n : collect_unordered_names(scrubbed.back())) {
+        options.extra_unordered_names.push_back(std::move(n));
+      }
+    }
+  }
+  std::sort(options.extra_unordered_names.begin(),
+            options.extra_unordered_names.end());
+  options.extra_unordered_names.erase(
+      std::unique(options.extra_unordered_names.begin(),
+                  options.extra_unordered_names.end()),
+      options.extra_unordered_names.end());
+
+  // Phase 2: call graph + interprocedural rules over src/.
+  const CallGraph graph = CallGraph::build(files);
+  std::vector<ScrubbedSource> sources;
+  sources.reserve(files.size());
+  for (std::size_t i = 0; i < files.size(); ++i) {
+    sources.push_back(ScrubbedSource{files[i].path, &scrubbed[i]});
+  }
+  std::vector<Finding> interproc = interprocedural_findings(graph, sources);
+
+  // Per-file: token rules + this file's share of the graph findings, then
+  // allow suppression (uniform across both phases) + annotation policing.
+  std::map<std::string, std::vector<Finding>> interproc_by_file;
+  for (Finding& f : interproc) {
+    interproc_by_file[f.file].push_back(std::move(f));
+  }
+  std::vector<Finding> out;
+  for (std::size_t i = 0; i < files.size(); ++i) {
+    std::vector<Finding> raw =
+        token_findings(files[i].path, scrubbed[i], options);
+    if (auto it = interproc_by_file.find(files[i].path);
+        it != interproc_by_file.end()) {
+      raw.insert(raw.end(), std::make_move_iterator(it->second.begin()),
+                 std::make_move_iterator(it->second.end()));
+    }
+    std::vector<Finding> checked =
+        apply_allows(files[i].path, std::move(raw),
+                     collect_allows_impl(scrubbed[i]), /*stale_check=*/true);
+    out.insert(out.end(), std::make_move_iterator(checked.begin()),
+               std::make_move_iterator(checked.end()));
+  }
+  sort_findings(out);
   return out;
 }
 
@@ -690,16 +804,39 @@ std::string read_file(const std::filesystem::path& p) {
   return buf.str();
 }
 
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
 }  // namespace
 
-std::vector<Finding> lint_tree(const std::filesystem::path& repo_root,
-                               const std::vector<std::string>& roots) {
+std::vector<FileContent> load_tree(const std::filesystem::path& repo_root,
+                                   const std::vector<std::string>& roots) {
   namespace fs = std::filesystem;
-  std::vector<fs::path> files;
+  std::vector<fs::path> paths;
   for (const std::string& root : roots) {
     const fs::path abs = repo_root / root;
     if (fs::is_regular_file(abs)) {
-      if (lintable_extension(abs)) files.push_back(abs);
+      if (lintable_extension(abs)) paths.push_back(abs);
       continue;
     }
     if (!fs::is_directory(abs)) {
@@ -713,48 +850,84 @@ std::vector<Finding> lint_tree(const std::filesystem::path& repo_root,
         continue;
       }
       if (it->is_regular_file() && lintable_extension(it->path())) {
-        files.push_back(it->path());
+        paths.push_back(it->path());
       }
     }
   }
-  std::sort(files.begin(), files.end());
-  files.erase(std::unique(files.begin(), files.end()), files.end());
+  std::sort(paths.begin(), paths.end());
+  paths.erase(std::unique(paths.begin(), paths.end()), paths.end());
 
-  // Pass 1: unordered-container names declared anywhere in the hot dirs, so
-  // iteration in a .cpp over a member declared in its header is caught.
-  Options options;
-  std::vector<std::pair<fs::path, std::string>> contents;
-  contents.reserve(files.size());
-  for (const fs::path& f : files) {
-    contents.emplace_back(f, read_file(f));
-    const std::string rel =
-        fs::relative(f, repo_root).generic_string();
-    if (in_hot_dirs(rel)) {
-      for (std::string& n : unordered_container_names(contents.back().second)) {
-        options.extra_unordered_names.push_back(std::move(n));
-      }
-    }
+  std::vector<FileContent> files;
+  files.reserve(paths.size());
+  for (const fs::path& p : paths) {
+    files.push_back(FileContent{fs::relative(p, repo_root).generic_string(),
+                                read_file(p)});
   }
-  std::sort(options.extra_unordered_names.begin(),
-            options.extra_unordered_names.end());
-  options.extra_unordered_names.erase(
-      std::unique(options.extra_unordered_names.begin(),
-                  options.extra_unordered_names.end()),
-      options.extra_unordered_names.end());
+  return files;
+}
 
-  // Pass 2: lint every file under the global name set.
-  std::vector<Finding> out;
-  for (const auto& [file, content] : contents) {
-    const std::string rel = fs::relative(file, repo_root).generic_string();
-    std::vector<Finding> fs_findings = lint_source(rel, content, options);
-    out.insert(out.end(), std::make_move_iterator(fs_findings.begin()),
-               std::make_move_iterator(fs_findings.end()));
+std::vector<Finding> lint_tree(const std::filesystem::path& repo_root,
+                               const std::vector<std::string>& roots) {
+  return lint_files(load_tree(repo_root, roots));
+}
+
+std::string to_json(const std::vector<Finding>& findings) {
+  std::string out = "[\n";
+  for (std::size_t i = 0; i < findings.size(); ++i) {
+    const Finding& f = findings[i];
+    out += "  {\"file\": \"" + json_escape(f.file) +
+           "\", \"line\": " + std::to_string(f.line) + ", \"rule\": \"" +
+           json_escape(f.rule) + "\", \"message\": \"" +
+           json_escape(f.message) + "\"}";
+    if (i + 1 < findings.size()) out += ",";
+    out += "\n";
   }
-  std::sort(out.begin(), out.end(), [](const Finding& a, const Finding& b) {
-    if (a.file != b.file) return a.file < b.file;
-    if (a.line != b.line) return a.line < b.line;
-    return a.rule < b.rule;
-  });
+  out += "]\n";
+  return out;
+}
+
+std::string to_sarif(const std::vector<Finding>& findings) {
+  std::string out;
+  out +=
+      "{\n"
+      "  \"$schema\": "
+      "\"https://json.schemastore.org/sarif-2.1.0.json\",\n"
+      "  \"version\": \"2.1.0\",\n"
+      "  \"runs\": [{\n"
+      "    \"tool\": {\"driver\": {\n"
+      "      \"name\": \"splicer_lint\",\n"
+      "      \"informationUri\": "
+      "\"tools/splicer_lint/RULES.md\",\n"
+      "      \"rules\": [\n";
+  const auto& table = rule_table();
+  for (std::size_t i = 0; i < table.size(); ++i) {
+    out += "        {\"id\": \"" + json_escape(table[i].id) +
+           "\", \"shortDescription\": {\"text\": \"" +
+           json_escape(table[i].summary) + "\"}}";
+    if (i + 1 < table.size()) out += ",";
+    out += "\n";
+  }
+  out +=
+      "      ]\n"
+      "    }},\n"
+      "    \"results\": [\n";
+  for (std::size_t i = 0; i < findings.size(); ++i) {
+    const Finding& f = findings[i];
+    out += "      {\"ruleId\": \"" + json_escape(f.rule) +
+           "\", \"level\": \"error\", \"message\": {\"text\": \"" +
+           json_escape(f.message) +
+           "\"}, \"locations\": [{\"physicalLocation\": "
+           "{\"artifactLocation\": {\"uri\": \"" +
+           json_escape(f.file) +
+           "\"}, \"region\": {\"startLine\": " + std::to_string(f.line) +
+           "}}}]}";
+    if (i + 1 < findings.size()) out += ",";
+    out += "\n";
+  }
+  out +=
+      "    ]\n"
+      "  }]\n"
+      "}\n";
   return out;
 }
 

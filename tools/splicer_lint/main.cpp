@@ -1,90 +1,28 @@
 // splicer_lint CLI — the repo-contract static-analysis gate.
 //
-//   splicer_lint [--error-on-findings] [--list-rules] <path>...
+//   splicer_lint [--error-on-findings] [--format text|json|sarif]
+//                [--dump-callgraph] [--list-rules] <path>...
 //
 // Paths are files or directories relative to the current working directory
 // (CI invokes it from the repo root: `splicer_lint --error-on-findings src
-// tools bench examples`). Exit status: 0 clean (or findings without
-// --error-on-findings), 1 findings with --error-on-findings, 2 usage/IO
-// error.
+// tools bench examples`).
+//
+// Exit status (pinned by tests/lint_test.cpp, relied on by tools/ci.sh):
+//   0  clean tree, or findings reported without --error-on-findings, or a
+//      pure informational invocation (--help, --list-rules with no paths)
+//   1  findings present and --error-on-findings was given
+//   2  usage error (unknown option/format, no paths) or IO error (missing
+//      root, unreadable file)
 
-#include <cstdio>
-#include <exception>
 #include <filesystem>
+#include <iostream>
 #include <string>
 #include <vector>
 
-#include "splicer_lint/lint_core.h"
-
-namespace {
-
-void print_usage() {
-  std::fputs(
-      "usage: splicer_lint [--error-on-findings] [--list-rules] <path>...\n"
-      "\n"
-      "Token-level static analysis of the repo's determinism and\n"
-      "memory-safety contracts. Suppress a finding with\n"
-      "  // SPLICER_LINT_ALLOW(<rule-id>): <non-empty reason>\n"
-      "on the offending line or the comment line directly above it.\n",
-      stderr);
-}
-
-void print_rules() {
-  for (const auto& rule : splicer::lint::rules()) {
-    std::printf("%-16s [%s]\n    %s\n", std::string(rule.id).c_str(),
-                std::string(rule.scope).c_str(),
-                std::string(rule.summary).c_str());
-  }
-}
-
-}  // namespace
+#include "splicer_lint/cli.h"
 
 int main(int argc, char** argv) {
-  bool error_on_findings = false;
-  bool list_rules = false;
-  std::vector<std::string> roots;
-  for (int i = 1; i < argc; ++i) {
-    const std::string arg = argv[i];
-    if (arg == "--error-on-findings") {
-      error_on_findings = true;
-    } else if (arg == "--list-rules") {
-      list_rules = true;
-    } else if (arg == "--help" || arg == "-h") {
-      print_usage();
-      return 0;
-    } else if (!arg.empty() && arg[0] == '-') {
-      std::fprintf(stderr, "splicer_lint: unknown option '%s'\n", arg.c_str());
-      print_usage();
-      return 2;
-    } else {
-      roots.push_back(arg);
-    }
-  }
-  if (list_rules) {
-    print_rules();
-    if (roots.empty()) return 0;
-  }
-  if (roots.empty()) {
-    print_usage();
-    return 2;
-  }
-
-  try {
-    const auto findings =
-        splicer::lint::lint_tree(std::filesystem::current_path(), roots);
-    for (const auto& f : findings) {
-      std::printf("%s:%d: [%s] %s\n", f.file.c_str(), f.line, f.rule.c_str(),
-                  f.message.c_str());
-    }
-    if (findings.empty()) {
-      std::printf("splicer_lint: clean\n");
-      return 0;
-    }
-    std::printf("splicer_lint: %zu finding%s\n", findings.size(),
-                findings.size() == 1 ? "" : "s");
-    return error_on_findings ? 1 : 0;
-  } catch (const std::exception& e) {
-    std::fprintf(stderr, "splicer_lint: %s\n", e.what());
-    return 2;
-  }
+  const std::vector<std::string> args(argv + 1, argv + argc);
+  return splicer::lint::run_cli(std::filesystem::current_path(), args,
+                                std::cout, std::cerr);
 }
