@@ -74,6 +74,19 @@ class DenseIdMap {
     return {&ring_[idx], true};
   }
 
+  /// Visits every live entry in ascending id order (a deterministic
+  /// function of map contents, independent of insertion history). The
+  /// callback gets (id, T&) and must not insert or erase — mutations that
+  /// move the window invalidate the traversal; collect ids first if the
+  /// visit needs to erase.
+  template <typename F>
+  void for_each(F&& f) {
+    for (std::size_t i = 0; i < span_; ++i) {
+      const std::size_t idx = (head_ + i) & mask();
+      if (live_[idx]) f(base_id_ + i, ring_[idx]);
+    }
+  }
+
   /// Erases the entry (resetting the slot's T so held resources free
   /// immediately); slides the window past leading dead slots. Returns
   /// whether anything was erased.

@@ -16,6 +16,18 @@
 
 namespace splicer::pcn {
 
+/// Per-edge forwarding policy (CLoTH's channel model): a flat fee, a
+/// proportional fee on the forwarded amount, the smallest admissible hop
+/// amount, and the timelock cost of traversing the edge. The defaults are
+/// the arithmetic identity — zero fees, no HTLC floor, unit timelock — so
+/// an unmutated network behaves exactly like the pre-policy engine.
+struct ChannelPolicy {
+  Amount fee_base = 0;          // flat per-hop fee
+  double fee_proportional = 0;  // fraction of the forwarded amount
+  Amount min_htlc = 0;          // hops below this amount are rejected
+  std::uint32_t timelock = 1;   // per-edge timelock cost (path-depth budget)
+};
+
 class Channel {
  public:
   /// `node_a`/`node_b` are the endpoints as stored in the topology edge
@@ -86,12 +98,25 @@ class Channel {
   /// that executed identical mutation sequences end at equal generations).
   [[nodiscard]] std::uint64_t generation() const noexcept { return generation_; }
 
+  /// Churn state: a closed channel refuses new locks at the engine level
+  /// (attempt_hop fails the TU with kChannelClosed) while in-flight
+  /// settles/refunds of locks taken before the close stay legal — funds
+  /// never leave the channel, so conservation holds across close/reopen.
+  [[nodiscard]] bool is_closed() const noexcept { return closed_; }
+  void set_closed(bool closed) noexcept { closed_ = closed; }
+
+  /// Per-edge forwarding policy (fees, HTLC floor, timelock cost).
+  [[nodiscard]] const ChannelPolicy& policy() const noexcept { return policy_; }
+  void set_policy(const ChannelPolicy& policy) noexcept { policy_ = policy; }
+
  private:
   NodeId node_a_;
   NodeId node_b_;
   Amount balance_[2];
   Amount locked_[2];
   std::uint64_t generation_ = 0;
+  bool closed_ = false;
+  ChannelPolicy policy_{};
 };
 
 }  // namespace splicer::pcn

@@ -13,6 +13,7 @@ Network::Network(graph::Graph topology, std::vector<Amount> funds_ab,
       funds_ba.size() != topology_.edge_count()) {
     throw std::invalid_argument("Network: funds vectors must match edge count");
   }
+  node_online_.assign(topology_.node_count(), 1);
   channels_.reserve(topology_.edge_count());
   for (ChannelId e = 0; e < topology_.edge_count(); ++e) {
     const auto& edge = topology_.edge(e);

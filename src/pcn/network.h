@@ -48,6 +48,25 @@ class Network {
     return ch.available(ch.direction_from(from));
   }
 
+  /// Node liveness (hostile-world fault injection). Every node starts
+  /// online; an offline node refuses new forwarding attempts on all its
+  /// channels (in-flight settles/refunds still complete — an outage strands
+  /// no funds).
+  [[nodiscard]] bool node_online(NodeId node) const {
+    return node_online_.at(node) != 0;
+  }
+  void set_node_online(NodeId node, bool online) {
+    node_online_.at(node) = online ? 1 : 0;
+  }
+
+  /// A channel accepts new locks: open and both endpoints online. The path
+  /// filters (routing/path_filter.h) and the engine's attempt_hop guard
+  /// share this predicate.
+  [[nodiscard]] bool channel_usable(ChannelId id) const {
+    const Channel& ch = channels_.at(id);
+    return !ch.is_closed() && node_online(ch.node_a()) && node_online(ch.node_b());
+  }
+
   /// Sum of all balances and locks; constant across lock/settle/refund.
   [[nodiscard]] Amount total_funds() const noexcept;
 
@@ -59,6 +78,7 @@ class Network {
  private:
   graph::Graph topology_;
   std::vector<Channel> channels_;
+  std::vector<std::uint8_t> node_online_;  // 1 = online; sized to node_count
 };
 
 }  // namespace splicer::pcn

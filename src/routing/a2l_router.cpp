@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "graph/metrics.h"
+#include "routing/path_filter.h"
 
 namespace splicer::routing {
 
@@ -59,6 +60,15 @@ void A2lRouter::on_timer(Engine& engine, std::uint64_t a, std::uint64_t b) {
   path.edges = {g.find_edge(payment.sender, hub_),
                 g.find_edge(hub_, payment.receiver)};
   path.length = 2.0;
+
+  // Hostile-world: the tumbler has exactly one route; if a spoke channel
+  // closed, an endpoint (or the hub itself) is offline, or the two-hop
+  // timelock cost is over budget, the payment cannot complete.
+  if (const auto blocked = path_obstruction(
+          engine.network(), path, engine.config().hostile.timelock_budget)) {
+    engine.fail_payment(payment.id, *blocked);
+    return;
+  }
 
   TransactionUnit tu;
   tu.payment = payment.id;

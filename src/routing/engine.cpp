@@ -25,6 +25,8 @@ const char* to_string(FailReason reason) noexcept {
     case FailReason::kQueueOverflow: return "queue-overflow";
     case FailReason::kTimeout: return "timeout";
     case FailReason::kHubOverload: return "hub-overload";
+    case FailReason::kNodeOffline: return "node-offline";
+    case FailReason::kChannelClosed: return "channel-closed";
   }
   return "?";
 }
@@ -62,6 +64,9 @@ void EngineMetrics::merge_from(const EngineMetrics& other) {
   // across shards is the sum of the per-shard peaks' upper bound, matching
   // the other peak fields' merge convention.
   active_pairs_peak += other.active_pairs_peak;
+  mutation_events += other.mutation_events;
+  resident_tus_at_end += other.resident_tus_at_end;
+  wedged_queue_value += other.wedged_queue_value;
 }
 
 Engine::Engine(pcn::Network network, std::unique_ptr<pcn::TrafficSource> source,
@@ -152,7 +157,9 @@ void Engine::handle_event(const sim::EngineEvent& event) {
       state.queue.erase(pos);
       if (config_.validate_queues) check_queue_invariant(channel, d);
       LiveTu* live = live_.find(id);
-      if (live == nullptr) break;  // stale: accounting released above
+      // Stale (resolved elsewhere): the accounting was released above and
+      // there is nothing left to fail.
+      if (live == nullptr || live->resolved) break;
       live->tu.marked = true;
       fail_tu(id, FailReason::kMarkedCongested);
       break;
@@ -180,6 +187,14 @@ void Engine::handle_event(const sim::EngineEvent& event) {
       TuResult msg = std::move(result_inbox_.front());
       result_inbox_.pop_front();
       apply_remote_result(std::move(msg));
+      break;
+    }
+    case Kind::kMutation: {
+      const auto idx = static_cast<std::size_t>(event.a);
+      const pcn::MutationEvent mutation = *staged_mutations_[idx];
+      staged_mutations_[idx] = mutators_[idx]->next();
+      apply_mutation(mutation);
+      schedule_next_mutation();
       break;
     }
     case Kind::kNone:
@@ -213,8 +228,10 @@ EngineMetrics Engine::run() {
 }
 
 void Engine::begin_run() {
+  init_mutators();
   router_.on_start(*this);
   schedule_next_arrival();
+  schedule_next_mutation();
 }
 
 std::size_t Engine::run_window(double until) {
@@ -231,9 +248,150 @@ void Engine::finish_run() {
     // simulation is over.
     flush_settlements(/*drain=*/false);
   }
+  // Deadlock witnesses for the churn stress gate: anything still alive or
+  // queued at run end is wedged liquidity (benign AND hostile runs must
+  // both end at zero — every ack chain, mark event and refund fires before
+  // the deadline-driven hard stop).
+  metrics_.resident_tus_at_end = live_.size();
+  Amount wedged = 0;
+  for (const DirectedState& ds : directed_) wedged += ds.queued_value;
+  metrics_.wedged_queue_value = wedged;
   if (network_.total_funds() != initial_funds_) {
     throw std::logic_error("Engine: funds-conservation violation");
   }
+}
+
+void Engine::init_mutators() {
+  if (!config_.hostile.any_mutation_active()) return;
+  // Mutations cover the workload plus the slack tail; in sharded mode
+  // begin_run() runs after bind_shard(), so workload_horizon() already
+  // reflects the real source's hint and every shard derives the identical
+  // stream from the identical horizon.
+  const double horizon = workload_horizon() + config_.horizon_slack_s;
+  mutators_ = pcn::make_mutators(config_.hostile, network_.node_count(),
+                                 network_.channel_count(), horizon);
+  staged_mutations_.clear();
+  staged_mutations_.reserve(mutators_.size());
+  for (auto& mutator : mutators_) staged_mutations_.push_back(mutator->next());
+  node_down_depth_.assign(network_.node_count(), 0);
+  channel_close_depth_.assign(network_.channel_count(), 0);
+}
+
+void Engine::schedule_next_mutation() {
+  // One kMutation event in flight at a time: each firing re-stages its
+  // mutator and re-arms the global minimum. Strict < keeps equal-timestamp
+  // events firing in ascending mutator-index order (the construction order
+  // pinned by make_mutators).
+  std::size_t best = staged_mutations_.size();
+  for (std::size_t i = 0; i < staged_mutations_.size(); ++i) {
+    if (!staged_mutations_[i]) continue;
+    if (best == staged_mutations_.size() ||
+        staged_mutations_[i]->time < staged_mutations_[best]->time) {
+      best = i;
+    }
+  }
+  if (best == staged_mutations_.size()) return;
+  scheduler_.at(staged_mutations_[best]->time,
+                sim::EngineEvent{.kind = sim::EngineEvent::Kind::kMutation,
+                                 .channel = 0,
+                                 .aux = 0,
+                                 .a = best});
+}
+
+void Engine::apply_mutation(const pcn::MutationEvent& event) {
+  ++metrics_.mutation_events;
+  using Kind = pcn::MutationEvent::Kind;
+  switch (event.kind) {
+    // Fault and churn flags flip only on the 0<->1 depth transition so
+    // overlapping windows from independent primary draws stay idempotent;
+    // the paired recovery event unwinds one level.
+    case Kind::kNodeDown:
+      if (node_down_depth_[event.node]++ == 0) {
+        network_.set_node_online(event.node, false);
+      }
+      break;
+    case Kind::kNodeUp:
+      if (node_down_depth_[event.node] > 0 &&
+          --node_down_depth_[event.node] == 0) {
+        network_.set_node_online(event.node, true);
+      }
+      break;
+    case Kind::kChannelClose:
+      if (channel_close_depth_[event.channel]++ == 0) {
+        network_.channel(event.channel).set_closed(true);
+        mark_channel_dirty(event.channel);
+        // Fund-touching side effects run on the owning shard only; every
+        // other shard just flips the flag so path selection agrees.
+        if (!channel_is_remote(event.channel)) on_channel_close(event.channel);
+      }
+      break;
+    case Kind::kChannelReopen:
+      if (channel_close_depth_[event.channel] > 0 &&
+          --channel_close_depth_[event.channel] == 0) {
+        network_.channel(event.channel).set_closed(false);
+        mark_channel_dirty(event.channel);
+      }
+      break;
+    case Kind::kFeePolicy: {
+      auto& ch = network_.channel(event.channel);
+      pcn::ChannelPolicy policy = ch.policy();
+      policy.fee_base = event.policy.fee_base;
+      policy.fee_proportional = event.policy.fee_proportional;
+      policy.min_htlc = event.policy.min_htlc;
+      ch.set_policy(policy);
+      mark_channel_dirty(event.channel);
+      break;
+    }
+    case Kind::kTimelock: {
+      auto& ch = network_.channel(event.channel);
+      pcn::ChannelPolicy policy = ch.policy();
+      policy.timelock = event.policy.timelock;
+      ch.set_policy(policy);
+      mark_channel_dirty(event.channel);
+      break;
+    }
+  }
+}
+
+void Engine::on_channel_close(ChannelId channel) {
+  // The flag is already set, so any retry a failure callback triggers hits
+  // the attempt_hop backstop instead of re-entering this channel's queues.
+  //
+  // Drain both waiting queues first: every queued TU fails with
+  // kChannelClosed, releasing its queued_value and cancelling its mark
+  // event — drain_queue's stale bookkeeping minus the retry.
+  for (const pcn::Direction d :
+       {pcn::Direction::kForward, pcn::Direction::kBackward}) {
+    auto& ds = directed(channel, d);
+    while (!ds.queue.empty()) {
+      const QueuedTu entry = ds.queue.front();
+      ds.queue.erase(ds.queue.begin());
+      ds.queued_value -= entry.amount;
+      scheduler_.cancel(entry.mark_event);
+      fail_tu(entry.id, FailReason::kChannelClosed);
+    }
+    if (config_.validate_queues) check_queue_invariant(channel, d);
+  }
+  // Then refund every unresolved resident TU holding a lock on the closed
+  // channel. Collect ids before failing any: batched-mode fail_tu erases
+  // from live_ and failure callbacks may send new TUs (slab relocation), so
+  // the traversal must see no mutation. TUs that locked this channel but
+  // moved on to another shard resolve through their normal routed acks —
+  // settle/refund stay legal on a closed channel, so they cannot wedge.
+  // SPLICER_LINT_ALLOW(hotpath-alloc): churn events are Poisson-rare (zero
+  // in benign runs) — never per-TU or per-hop work.
+  std::vector<TuId> victims;
+  live_.for_each([&](TuId id, const LiveTu& live) {
+    if (live.resolved) return;
+    const auto& tu = live.tu;
+    for (std::size_t i = 0; i < tu.path.edges.size(); ++i) {
+      if (tu.path.edges[i] == channel && live.hop_locked[i]) {
+        victims.push_back(id);
+        return;
+      }
+    }
+  });
+  for (const TuId id : victims) fail_tu(id, FailReason::kChannelClosed);
 }
 
 void Engine::bind_shard(ShardCoordinator* coordinator, std::uint32_t shard,
@@ -517,8 +675,11 @@ Amount Engine::queue_amount(ChannelId channel, pcn::Direction d) const {
 
 void Engine::attempt_hop(TuId id) {
   LiveTu* live_ptr = live_.find(id);
-  if (live_ptr == nullptr) return;  // already resolved
+  if (live_ptr == nullptr) return;  // already resolved and released
   auto& live = *live_ptr;
+  // Per-hop mode keeps a resolved TU's live entry until kReleaseTu with its
+  // tu vectors vacated; a pending retry event must not touch it.
+  if (live.resolved) return;
   auto& tu = live.tu;
   const std::size_t hop = tu.next_hop;
   const ChannelId channel = tu.path.edges[hop];
@@ -533,6 +694,26 @@ void Engine::attempt_hop(TuId id) {
   const pcn::Direction d = ch.direction_from(from);
   auto& ds = directed(channel, d);
   const Amount amount = tu.hop_amounts[hop];
+
+  // Hostile-world admission backstop: whatever path the router chose (or
+  // cached before a mutation landed), no new lock goes onto a closed
+  // channel, through an offline endpoint, or below the channel's min_htlc
+  // policy floor. In-flight settles and refunds stay legal on a closed
+  // channel — only new locks are refused, so conservation is untouched.
+  // All three reads hit identity defaults in a benign run.
+  if (ch.is_closed()) {
+    fail_tu(id, FailReason::kChannelClosed);
+    return;
+  }
+  if (!network_.node_online(ch.node_a()) ||
+      !network_.node_online(ch.node_b())) {
+    fail_tu(id, FailReason::kNodeOffline);
+    return;
+  }
+  if (amount < ch.policy().min_htlc) {
+    fail_tu(id, FailReason::kInsufficientFunds);
+    return;
+  }
 
   // Processing-rate limit (r_process, paper Alg. 2 line 10): processing
   // capacity delays forwarding; in queue mode the TU takes a queue slot,
@@ -605,7 +786,7 @@ void Engine::schedule_hop_arrival(TuId id) {
 
 void Engine::arrive_next(TuId id) {
   LiveTu* live = live_.find(id);
-  if (live == nullptr) return;
+  if (live == nullptr || live->resolved) return;
   auto& tu = live->tu;
   ++tu.next_hop;
   if (tu.next_hop == tu.path.edges.size()) {
@@ -619,6 +800,7 @@ void Engine::deliver(TuId id) {
   LiveTu* live_ptr = live_.find(id);
   if (live_ptr == nullptr) return;
   auto& live = *live_ptr;
+  live.resolved = true;
   ++metrics_.tus_delivered;
 
   if (live.foreign) {
@@ -710,7 +892,11 @@ void Engine::settle_backwards(TuId id) {
 
 void Engine::fail_tu(TuId id, FailReason reason) {
   LiveTu* live = live_.find(id);
-  if (live == nullptr) return;
+  // The resolved check makes failure idempotent: a channel-close sweep and
+  // a late mark/retry event may both reach the same per-hop-mode TU while
+  // its entry awaits kReleaseTu.
+  if (live == nullptr || live->resolved) return;
+  live->resolved = true;
   if (live->foreign) {
     ++metrics_.tus_failed;
     ++metrics_.tu_fail_reasons[static_cast<std::size_t>(reason)];
@@ -815,7 +1001,8 @@ std::size_t Engine::pick_from_queue(const DirectedState& state) const {
       Amount best_value = 0;
       for (std::size_t i = 0; i < state.queue.size(); ++i) {
         const LiveTu* live = live_.find(state.queue[i].id);
-        if (live == nullptr) return i;  // stale: evict before policy picks
+        // Stale: evict before policy picks.
+        if (live == nullptr || live->resolved) return i;
         const Amount v = live->tu.value;
         if (i == 0 || v < best_value) {
           best = i;
@@ -829,7 +1016,8 @@ std::size_t Engine::pick_from_queue(const DirectedState& state) const {
       double best_deadline = 0.0;
       for (std::size_t i = 0; i < state.queue.size(); ++i) {
         const LiveTu* live = live_.find(state.queue[i].id);
-        if (live == nullptr) return i;  // stale: evict before policy picks
+        // Stale: evict before policy picks.
+        if (live == nullptr || live->resolved) return i;
         const double dl = live->tu.deadline;
         if (i == 0 || dl < best_deadline) {
           best = i;
@@ -853,7 +1041,7 @@ void Engine::drain_queue(ChannelId channel, pcn::Direction d) {
     const std::size_t index = pick_from_queue(ds);
     const QueuedTu entry = ds.queue[index];
     const LiveTu* live = live_.find(entry.id);
-    if (live == nullptr) {
+    if (live == nullptr || live->resolved) {
       // Stale entry (TU resolved elsewhere): release its accounting too —
       // erasing the entry alone would leak queued_value and leave the mark
       // event live to fire against a recycled queue position.

@@ -27,6 +27,7 @@
 #include "common/rng.h"
 #include "common/stats.h"
 #include "pcn/network.h"
+#include "pcn/scenario_mutator.h"
 #include "pcn/traffic_source.h"
 #include "pcn/workload.h"
 #include "routing/router.h"
@@ -75,6 +76,14 @@ struct EngineConfig {
   /// setting this (the env read lives in the bench layer — ambient state
   /// never reaches src/).
   bool full_recompute_ticks = false;
+  /// Hostile-world scenario pack: fault injection, channel churn, per-edge
+  /// fee/timelock policies (see pcn/scenario_mutator.h). All rates default
+  /// to 0, in which case no mutator is built, no mutation event is ever
+  /// scheduled and no RNG draw happens — the benign event stream is
+  /// byte-identical to an engine without this field (CI-gated). Mutation
+  /// randomness derives from hostile.seed, never from `seed`, so the
+  /// stream is also bit-identical across shard counts.
+  pcn::HostileConfig hostile;
 };
 
 struct EngineMetrics {
@@ -137,6 +146,17 @@ struct EngineMetrics {
   std::uint64_t price_updates_skipped = 0;
   std::uint64_t probe_sums_reused = 0;
   std::size_t active_pairs_peak = 0;
+  /// Hostile-world mutation events applied (0 in a benign run). In a
+  /// sharded run every shard replays the full stream (state flags must
+  /// agree everywhere), so the merged count is shards x stream length.
+  std::uint64_t mutation_events = 0;
+  /// Deadlock witnesses, stamped by finish_run() before the conservation
+  /// check: TUs still resident in the live slab and value still sitting in
+  /// waiting queues when the run ended. Both must be 0 for every scheme
+  /// even under churn storms — a nonzero value is a wedged liquidity cycle
+  /// (the deadlock-under-churn stress gate asserts this).
+  std::size_t resident_tus_at_end = 0;
+  Amount wedged_queue_value = 0;
 
   /// Transaction success ratio: completed / generated payments.
   [[nodiscard]] double tsr() const {
@@ -429,6 +449,10 @@ class Engine : private sim::EventSink {
     bool foreign = false;
     std::uint32_t home_shard = 0;  // valid when foreign
     TuId home_id = 0;              // the id the home shard knows the TU by
+    /// deliver()/fail_tu() ran: in per-hop mode the entry outlives its
+    /// resolution until the ack-chain kReleaseTu fires, and the channel-
+    /// close sweep (and any late kMark) must not fail it a second time.
+    bool resolved = false;
   };
   struct QueuedTu {
     TuId id;
@@ -541,6 +565,27 @@ class Engine : private sim::EventSink {
   /// validate_queues hook: recomputes the queue's value from its entries.
   void check_queue_invariant(ChannelId channel, pcn::Direction d) const;
 
+  // Hostile-world mutation plumbing (inert unless config_.hostile enables
+  // a mutator). The engine replays the merged mutator streams through its
+  // own scheduler, one staged kMutation event at a time (the arrival
+  // pattern): equal-timestamp events across mutators fire in ascending
+  // mutator index order. In a sharded run every shard replays the whole
+  // stream and flips the state flags (closed / offline / policy) so path
+  // selection agrees everywhere; the fund-touching side effects of a close
+  // (queue flush, in-flight refunds) run only on the channel's owning
+  // shard.
+  /// Builds the mutators and stages each one's first event (begin_run).
+  void init_mutators();
+  /// Schedules one kMutation event for the earliest staged event, if any.
+  void schedule_next_mutation();
+  /// Applies one mutation. Down/close depth counters make overlapping
+  /// faults on one target idempotent: only 0 <-> 1 transitions flip flags.
+  void apply_mutation(const pcn::MutationEvent& event);
+  /// Close side effects on the owning shard: fail both waiting queues
+  /// (kChannelClosed, mark events cancelled) and refund every unresolved
+  /// in-flight TU holding a lock on the channel.
+  void on_channel_close(ChannelId channel);
+
   // Directed-channel index scheme shared by directed_ and the batcher.
   [[nodiscard]] static constexpr std::size_t directed_index(
       ChannelId channel, pcn::Direction d) noexcept {
@@ -592,6 +637,14 @@ class Engine : private sim::EventSink {
   std::vector<ChannelId> dirty_channels_;
   bool dirty_tracking_ = false;
   SettlementBatcher batcher_;
+  // Hostile-world mutation state: the mutator streams, one staged event
+  // per mutator, and per-target depth counters for overlapping faults.
+  // Empty/unused in a benign run. Written only by the engine's mutation
+  // plumbing (splicer_lint writer-lanes owns these names).
+  std::vector<std::unique_ptr<pcn::ScenarioMutator>> mutators_;
+  std::vector<std::optional<pcn::MutationEvent>> staged_mutations_;
+  std::vector<std::uint32_t> node_down_depth_;
+  std::vector<std::uint32_t> channel_close_depth_;
   // Batched mode: TUs arriving at the same instant share one event, keyed
   // by the tick-quantised arrival time (never by a raw double).
   // SPLICER_LINT_ALLOW(unordered-decl): keyed try_emplace/extract only; the

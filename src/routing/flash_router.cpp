@@ -4,6 +4,7 @@
 
 #include "graph/disjoint_paths.h"
 #include "graph/max_flow.h"
+#include "routing/path_filter.h"
 
 namespace splicer::routing {
 
@@ -35,11 +36,23 @@ const std::vector<graph::Path>& FlashRouter::mice_paths(Engine& engine,
 void FlashRouter::send_mice(Engine& engine, const pcn::Payment& payment,
                             Amount value, PaymentProgress& progress) {
   const auto& paths = mice_paths(engine, payment.sender, payment.receiver);
-  if (paths.empty()) {
+  // Hostile-world filter over the precomputed candidates: skip paths that
+  // are currently obstructed (closed channel, offline endpoint, timelock
+  // over budget). In a benign run every path passes, so the random pick
+  // below draws over the same range as before — identical RNG stream.
+  mice_candidates_.clear();
+  for (const auto& path : paths) {
+    if (!path_obstruction(engine.network(), path,
+                          engine.config().hostile.timelock_budget)) {
+      mice_candidates_.push_back(&path);
+    }
+  }
+  if (mice_candidates_.empty()) {
     engine.fail_payment(payment.id, FailReason::kNoPath);
     return;
   }
-  const auto& path = paths[engine.rng().index(paths.size())];
+  const auto& path =
+      *mice_candidates_[engine.rng().index(mice_candidates_.size())];
   TransactionUnit tu;
   tu.payment = payment.id;
   tu.value = value;
@@ -60,6 +73,14 @@ void FlashRouter::send_elephant(Engine& engine, const pcn::Payment& payment,
     snapshot_backward_ = engine.network().backward_balances_tokens();
     snapshot_time_ = engine.now();
     engine.counters().probe_messages += engine.network().channel_count() / 16;
+    // Hostile-world: a closed or endpoint-offline channel contributes no
+    // capacity in either direction, so max-flow plans around it.
+    for (std::size_t c = 0; c < engine.network().channel_count(); ++c) {
+      if (!engine.network().channel_usable(static_cast<ChannelId>(c))) {
+        snapshot_forward_[c] = 0;
+        snapshot_backward_[c] = 0;
+      }
+    }
   }
 
   graph::MaxFlowOptions options;
@@ -67,9 +88,21 @@ void FlashRouter::send_elephant(Engine& engine, const pcn::Payment& payment,
   options.backward_capacity = &snapshot_backward_;
   options.flow_limit = common::to_tokens(value);
   options.max_paths = config_.max_flow_paths;
-  const auto flow = graph::max_flow(engine.network().topology(), payment.sender,
-                                    payment.receiver, options);
-  const Amount reachable = common::tokens(flow.total_flow);
+  auto flow = graph::max_flow(engine.network().topology(), payment.sender,
+                              payment.receiver, options);
+  // Drop flow paths obstructed since the snapshot (or whose timelock cost
+  // exceeds the budget) and deduct their flow; the benign-run subtraction
+  // is exact zero, keeping `reachable` bit-identical to the unfiltered sum.
+  double usable_flow = flow.total_flow;
+  std::erase_if(flow.paths, [&](const auto& flow_path) {
+    if (!path_obstruction(engine.network(), flow_path.path,
+                          engine.config().hostile.timelock_budget)) {
+      return false;
+    }
+    usable_flow -= flow_path.flow;
+    return true;
+  });
+  const Amount reachable = common::tokens(usable_flow);
   if (flow.paths.empty() || reachable < value) {
     engine.fail_payment(payment.id, FailReason::kInsufficientFunds);
     return;

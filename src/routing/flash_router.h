@@ -76,6 +76,8 @@ class FlashRouter final : public Router {
   std::vector<double> snapshot_forward_;
   std::vector<double> snapshot_backward_;
   double snapshot_time_ = -1.0;
+  // Scratch for hostile-world mice-path filtering (cleared per payment).
+  std::vector<const graph::Path*> mice_candidates_;
 };
 
 }  // namespace splicer::routing

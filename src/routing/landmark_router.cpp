@@ -4,6 +4,7 @@
 #include <queue>
 
 #include "graph/metrics.h"
+#include "routing/path_filter.h"
 
 namespace splicer::routing {
 
@@ -98,12 +99,22 @@ graph::Path LandmarkRouter::prune_loops(const graph::Path& path) {
 
 void LandmarkRouter::on_payment(Engine& engine, const pcn::Payment& payment) {
   std::vector<graph::Path> paths;
+  // Hostile-world filter: a landmark path through a closed channel, an
+  // offline node or past the timelock budget is not a candidate. The first
+  // obstruction seen becomes the failure reason when nothing survives.
+  std::optional<FailReason> obstruction;
   for (std::size_t i = 0; i < landmarks_.size(); ++i) {
     auto p = via_landmark(engine, i, payment.sender, payment.receiver);
-    if (p && !p->edges.empty()) paths.push_back(std::move(*p));
+    if (!p || p->edges.empty()) continue;
+    if (const auto blocked = path_obstruction(
+            engine.network(), *p, engine.config().hostile.timelock_budget)) {
+      if (!obstruction) obstruction = blocked;
+      continue;
+    }
+    paths.push_back(std::move(*p));
   }
   if (paths.empty()) {
-    engine.fail_payment(payment.id, FailReason::kNoPath);
+    engine.fail_payment(payment.id, obstruction.value_or(FailReason::kNoPath));
     return;
   }
   retries_left_[payment.id] = config_.chunk_retries * paths.size();
@@ -146,6 +157,11 @@ void LandmarkRouter::on_tu_failed(Engine& engine, const TransactionUnit& tu,
                         state->payment.receiver);
   if (!p || p->edges.empty()) {
     engine.fail_payment(tu.payment, FailReason::kNoPath);
+    return;
+  }
+  if (const auto blocked = path_obstruction(
+          engine.network(), *p, engine.config().hostile.timelock_budget)) {
+    engine.fail_payment(tu.payment, *blocked);
     return;
   }
   TransactionUnit retry;

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "routing/path_filter.h"
+
 namespace splicer::routing {
 
 void RateRouterBase::on_start(Engine& engine) {
@@ -550,12 +552,14 @@ double RateRouterBase::total_pair_rate(const PairState& pair) const {
   return total;
 }
 
-const std::vector<Amount>& RateRouterBase::fee_schedule(const PathState& path,
-                                                        Amount value) const {
+const std::vector<Amount>& RateRouterBase::fee_schedule(
+    const pcn::Network& network, const PathState& path, Amount value) const {
   // hop_amounts[i] = value + downstream fees; fees follow eq. (24) with the
-  // current fee rates, charged on the forwarded amount. The precomputed
-  // hop_index avoids re-deriving each hop's direction per TU; the flat
-  // price array yields the same fee_rate doubles bit for bit.
+  // current fee rates, charged on the forwarded amount, plus each hop
+  // channel's hostile-world policy fee (base + proportional). The
+  // precomputed hop_index avoids re-deriving each hop's direction per TU;
+  // the flat price array yields the same fee_rate doubles bit for bit, and
+  // an all-default policy adds exact zero to both terms.
   auto& amounts = fee_scratch_;
   // SPLICER_LINT_ALLOW(hotpath-alloc): per-router scratch — grows to the
   // longest path's hop count once, then every resize is within capacity.
@@ -564,10 +568,14 @@ const std::vector<Amount>& RateRouterBase::fee_schedule(const PathState& path,
   for (std::size_t i = path.hop_index.size(); i-- > 0;) {
     amounts[i] = carry;
     if (i == 0) break;
-    const double rate = fee_from_price(price_flat_[path.hop_index[i]]);
+    const std::uint32_t idx = path.hop_index[i];
+    const pcn::ChannelPolicy& policy =
+        network.channel(static_cast<ChannelId>(idx / 2)).policy();
+    const double rate =
+        fee_from_price(price_flat_[idx]) + policy.fee_proportional;
     const auto fee = static_cast<Amount>(
         std::llround(rate * static_cast<double>(carry)));
-    carry += std::max<Amount>(fee, 0);
+    carry += std::max<Amount>(fee, 0) + std::max<Amount>(policy.fee_base, 0);
   }
   return amounts;
 }
@@ -614,6 +622,17 @@ void RateRouterBase::try_send(Engine& engine, const PairKey& pair,
     break;
   }
   if (state.demands.empty()) return;
+  // Hostile-world dispatch gate: the pair's path set is computed once, so a
+  // mutation obstructing this path (closed channel, offline node, timelock
+  // over budget) is discovered here, at send time, against current network
+  // state — hold and retry like a funds-short admit; a reopened channel or
+  // recovered node makes the path usable again with no path recompute.
+  if (path_obstruction(engine.network(), path.full_path,
+                       engine.config().hostile.timelock_budget)) {
+    path.hold_until = std::max(path.hold_until, engine.now() + 0.05);
+    schedule_drip(engine, pair, path_index);
+    return;
+  }
   auto& entry = state.demands.front();
   const auto& payment_state = *front_state;
 
@@ -628,7 +647,7 @@ void RateRouterBase::try_send(Engine& engine, const PairKey& pair,
   }
   tu_value = std::max<Amount>(tu_value, 1);
 
-  const auto& hop_amounts = fee_schedule(path, tu_value);
+  const auto& hop_amounts = fee_schedule(engine.network(), path, tu_value);
   if (!admit_tu(engine, path.full_path, hop_amounts)) {
     // Downstream funds are short (F_ab < |d_i|): hold at the source and
     // retry shortly instead of locking a doomed HTLC chain.

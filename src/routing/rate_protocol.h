@@ -311,9 +311,12 @@ class RateRouterBase : public Router {
   /// Per-hop amounts (eq. 24) for a TU of `value` on `path`, filled into
   /// fee_scratch_ — valid until the next fee_schedule call. Rejected admits
   /// (funds short, window re-check) thus cost no allocation; only a TU that
-  /// is actually sent copies the schedule into its own storage.
-  [[nodiscard]] const std::vector<Amount>& fee_schedule(const PathState& path,
-                                                        Amount value) const;
+  /// is actually sent copies the schedule into its own storage. The network
+  /// supplies each hop's ChannelPolicy, whose {fee_base, fee_proportional}
+  /// compose with the price-derived rate (identity in a benign run: base 0,
+  /// proportional 0.0 leaves every double bit-identical).
+  [[nodiscard]] const std::vector<Amount>& fee_schedule(
+      const pcn::Network& network, const PathState& path, Amount value) const;
 
   /// The one fee policy (eq. 24's rate term): shared by the public
   /// fee_rate() and the flat-array fee schedule so the formula can never

@@ -41,14 +41,16 @@ enum class FailReason : std::uint8_t {
   kQueueOverflow,      // channel waiting queue full (q_amount bound)
   kTimeout,            // payment deadline passed
   kHubOverload,        // hub processing backlog (A2L crypto cost model)
+  kNodeOffline,        // a path node is offline (hostile-world fault)
+  kChannelClosed,      // a path channel closed (hostile-world churn)
   // When adding a reason: keep it above this comment, extend to_string, and
   // bump the static_assert below so kFailReasonCount tracks the enum.
 };
 
 /// Number of FailReason values; sizes the per-reason metric arrays.
 inline constexpr std::size_t kFailReasonCount =
-    static_cast<std::size_t>(FailReason::kHubOverload) + 1;
-static_assert(kFailReasonCount == 6,
+    static_cast<std::size_t>(FailReason::kChannelClosed) + 1;
+static_assert(kFailReasonCount == 8,
               "FailReason changed: update kFailReasonCount's anchor "
               "(last enumerator), to_string(FailReason), and this assert");
 

@@ -1,6 +1,7 @@
 #include "routing/shortest_path_router.h"
 
 #include "graph/shortest_path.h"
+#include "routing/path_filter.h"
 
 namespace splicer::routing {
 
@@ -15,6 +16,13 @@ void ShortestPathRouter::on_payment(Engine& engine, const pcn::Payment& payment)
       return;
     }
     it = cache_.emplace(key, std::move(*p)).first;
+  }
+  // The strawman never re-plans, so a mutation obstructing its one cached
+  // path fails the payment up front instead of burning locks on a prefix.
+  if (const auto obstruction = path_obstruction(
+          engine.network(), it->second, engine.config().hostile.timelock_budget)) {
+    engine.fail_payment(payment.id, *obstruction);
+    return;
   }
   TransactionUnit tu;
   tu.payment = payment.id;

@@ -31,6 +31,7 @@ struct EngineEvent {
     kRouterTimer,    // router-owned timer: a and b are router-defined
     kRemoteHandoff,  // sharded mode: adopt the next TU from the handoff inbox
     kRemoteResult,   // sharded mode: apply the next entry of the result inbox
+    kMutation,       // hostile-world mutation due: a = staged mutator index
   };
 
   Kind kind = Kind::kNone;

@@ -158,6 +158,16 @@ TEST(LintWriterLanes, FlagsRateRouterActiveSetOutsideOwner) {
   EXPECT_EQ(line_rules(findings), expected);
 }
 
+TEST(LintWriterLanes, FlagsMutationStateOutsideOwner) {
+  const std::string src = read_fixture("mutation_lanes.cpp");
+  const auto findings = lint_source("src/routing/fixture.cpp", src);
+  const std::vector<LineRule> expected = {{7, "writer-lanes"},
+                                          {8, "writer-lanes"},
+                                          {9, "writer-lanes"},
+                                          {10, "writer-lanes"}};
+  EXPECT_EQ(line_rules(findings), expected);
+}
+
 TEST(LintWriterLanes, OwningComponentIsExempt) {
   EXPECT_TRUE(lint_source("src/sim/sharded_scheduler.cpp",
                           "void f() { lanes_[0].clear(); }\n")
@@ -167,6 +177,12 @@ TEST(LintWriterLanes, OwningComponentIsExempt) {
                   .empty());
   EXPECT_TRUE(lint_source("src/routing/rate_protocol.cpp",
                           "void f() { active_pairs_.clear(); }\n")
+                  .empty());
+  EXPECT_TRUE(lint_source("src/routing/engine.cpp",
+                          "void f() { staged_mutations_[0].reset(); }\n")
+                  .empty());
+  EXPECT_TRUE(lint_source("src/routing/engine.h",
+                          "void f() { node_down_depth_.clear(); }\n")
                   .empty());
 }
 

@@ -1,11 +1,14 @@
 // Cross-seed robustness sweeps: the headline orderings must not be
 // artifacts of one RNG stream, and core invariants must hold across
-// topology families and parameter corners.
+// topology families and parameter corners — including the hostile-world
+// scenario pack (fault injection, channel churn, adversarial policies),
+// whose churn storms must never wedge liquidity in any scheme.
 
 #include <gtest/gtest.h>
 
 #include "common/log.h"
 #include "routing/experiment.h"
+#include "routing/sharded_engine.h"
 
 namespace splicer::routing {
 namespace {
@@ -107,6 +110,114 @@ TEST(ParameterCorners, TinyUpdateTime) {
   const auto m = run_scheme(scenario, Scheme::kSplicer, scheme_config);
   EXPECT_GT(m.tsr(), 0.3);
   EXPECT_GT(m.messages.probe_messages, 0u);
+}
+
+class HostileSeedSweepTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(HostileSeedSweepTest, FaultInjectionPreservesConservationOnEverySeed) {
+  // Node faults at a rate that downs most of the network over the run:
+  // every payment still resolves exactly once, the engine's in-run funds
+  // conservation check holds (finish_run() throws otherwise), and nothing
+  // stays resident at quiescence.
+  ScenarioConfig config;
+  config.seed = GetParam();
+  config.topology.nodes = 80;
+  config.placement.candidate_count = 8;
+  config.workload.payment_count = 300;
+  config.workload.horizon_seconds = 6.0;
+  const auto scenario = prepare_scenario(config);
+  SchemeConfig scheme_config;
+  scheme_config.engine.hostile.fault_rate = 4.0;
+  scheme_config.engine.hostile.mean_down_s = 0.4;
+  scheme_config.engine.hostile.seed = GetParam() * 1315423911u + 1;
+  for (const auto scheme : comparison_schemes()) {
+    const auto m = run_scheme(scenario, scheme, scheme_config);
+    EXPECT_EQ(m.payments_completed + m.payments_failed, 300u)
+        << to_string(scheme) << " seed " << GetParam();
+    EXPECT_GT(m.mutation_events, 0u) << to_string(scheme);
+    EXPECT_EQ(m.resident_tus_at_end, 0u) << to_string(scheme);
+    EXPECT_EQ(m.wedged_queue_value, 0) << to_string(scheme);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, HostileSeedSweepTest,
+                         ::testing::Values(61, 62, 63, 64, 65));
+
+TEST(DeadlockUnderChurn, StormNeverWedgesAnySchemeOrSettlementMode) {
+  // The stress gate: a combined fault + churn + policy storm across all six
+  // schemes, exact and batched settlement, sequential and 4-shard
+  // execution. A TU holding a lock on a channel that closes must unwind
+  // (refund) rather than park forever, and queue accounting must release
+  // every queued token — zero resident TUs and zero wedged queue value at
+  // quiescence, in every combination.
+  ScenarioConfig config;
+  config.seed = 57;
+  config.topology.nodes = 60;
+  config.placement.candidate_count = 6;
+  config.workload.payment_count = 200;
+  config.workload.horizon_seconds = 6.0;
+  const auto scenario = prepare_scenario(config);
+
+  SchemeConfig storm;
+  storm.engine.hostile.fault_rate = 3.0;
+  storm.engine.hostile.mean_down_s = 0.5;
+  storm.engine.hostile.churn_rate = 4.0;
+  storm.engine.hostile.mean_closed_s = 0.5;
+  storm.engine.hostile.fee_policy_rate = 1.0;
+  storm.engine.hostile.timelock_rate = 1.0;
+  storm.engine.hostile.timelock_budget = 16;
+
+  const Scheme all_six[] = {Scheme::kSplicer,  Scheme::kSpider,
+                            Scheme::kFlash,    Scheme::kLandmark,
+                            Scheme::kA2l,      Scheme::kShortestPath};
+  for (const auto scheme : all_six) {
+    for (const double epoch_s : {0.0, 0.010}) {
+      for (const std::uint32_t shards : {1u, 4u}) {
+        SchemeConfig scheme_config = storm;
+        scheme_config.engine.settlement_epoch_s = epoch_s;
+        ShardedEngineConfig sharded;
+        sharded.shards = shards;
+        const auto m =
+            shards == 1
+                ? run_scheme(scenario, scheme, scheme_config)
+                : run_scheme_sharded(scenario, scheme, scheme_config, sharded);
+        const auto label = std::string(to_string(scheme)) + " epoch=" +
+                           std::to_string(epoch_s) + " shards=" +
+                           std::to_string(shards);
+        EXPECT_EQ(m.payments_completed + m.payments_failed, 200u) << label;
+        EXPECT_GT(m.mutation_events, 0u) << label;
+        EXPECT_EQ(m.resident_tus_at_end, 0u) << label;
+        EXPECT_EQ(m.wedged_queue_value, 0) << label;
+        EXPECT_EQ(m.tus_delivered + m.tus_failed, m.tus_sent) << label;
+      }
+    }
+  }
+}
+
+TEST(DeadlockUnderChurn, ChurnFailuresCarryTheChannelClosedReason) {
+  // A churn-only storm must attribute its TU failures to kChannelClosed
+  // (with kNodeOffline impossible: no fault mutator is active).
+  ScenarioConfig config;
+  config.seed = 58;
+  config.topology.nodes = 60;
+  config.placement.candidate_count = 6;
+  config.workload.payment_count = 300;
+  config.workload.horizon_seconds = 6.0;
+  const auto scenario = prepare_scenario(config);
+  SchemeConfig scheme_config;
+  scheme_config.engine.hostile.churn_rate = 6.0;
+  scheme_config.engine.hostile.mean_closed_s = 1.0;
+  std::uint64_t closed_failures = 0;
+  for (const auto scheme : comparison_schemes()) {
+    const auto m = run_scheme(scenario, scheme, scheme_config);
+    const auto reason = [&m](FailReason r) {
+      return m.tu_fail_reasons[static_cast<std::size_t>(r)] +
+             m.payment_fail_reasons[static_cast<std::size_t>(r)];
+    };
+    closed_failures += reason(FailReason::kChannelClosed);
+    EXPECT_EQ(reason(FailReason::kNodeOffline), 0u) << to_string(scheme);
+  }
+  EXPECT_GT(closed_failures, 0u);
 }
 
 TEST(LogFacility, LevelsFilter) {

@@ -32,6 +32,16 @@
 # single-writer thread-id asserts on the mailbox lanes) — the runtime
 # backstop for what splicer_lint can only approximate statically.
 #
+# Hostile-world gates (fault injection / channel churn / policy mutators):
+#   * the robustness bench runs its fast sweep — it exits nonzero itself if
+#     any cell ends with resident TUs or wedged queue value;
+#   * explicit rate-0 flags through splicer_cli must reproduce the benign
+#     run byte-for-byte (the mutator plumbing is provably dormant at rate
+#     0, complementing the fig7 frozen-baseline diff above);
+#   * a churn-storm stress (DeadlockUnderChurn) re-runs under the AUDIT
+#     build so the close/refund sweeps execute with the dynamic witnesses
+#     on, and the mutator + robustness suites re-run under ASan+UBSan.
+#
 # Sharded-engine gates:
 #   * the hot-path JSON must carry the shard-scaling sweep ("shard_sweep"),
 #     which doubles as the 1-shard-parity exerciser (the sweep's shards=1
@@ -161,12 +171,40 @@ echo "CI: retention-contract smoke (streaming + --no-retain evicts states)"
 awk '$1 == "Splicer" { found = ($NF + 0) > 0 } END { exit !found }' \
   "$SMOKE_DIR/no_retain.txt"
 
+echo "CI: hostile-world robustness bench (wedge-free fault/churn/policy sweep)"
+SPLICER_BENCH_FAST=1 "$BUILD_DIR/bench_fig_robustness" \
+  --json "$BUILD_DIR/BENCH_fig_robustness.json" > "$SMOKE_DIR/robustness.txt"
+# The JSON must carry all three mutation panels with live mutation streams
+# (an all-zero event count would mean the sweep silently ran benign).
+grep -q '"mutation": "fault"' "$BUILD_DIR/BENCH_fig_robustness.json"
+grep -q '"mutation": "churn"' "$BUILD_DIR/BENCH_fig_robustness.json"
+grep -q '"mutation": "policy"' "$BUILD_DIR/BENCH_fig_robustness.json"
+grep -q '"mutation_events": [1-9]' "$BUILD_DIR/BENCH_fig_robustness.json"
+
+echo "CI: hostile-world rate-0 byte-identity (explicit zero-rate flags)"
+"$BUILD_DIR/splicer_cli" compare --nodes 60 --payments 300 \
+  > "$SMOKE_DIR/benign.txt"
+"$BUILD_DIR/splicer_cli" compare --nodes 60 --payments 300 \
+  --fault-rate 0 --churn-rate 0 --fee-policy 0 > "$SMOKE_DIR/rate0.txt"
+diff "$SMOKE_DIR/benign.txt" "$SMOKE_DIR/rate0.txt"
+
+echo "CI: hostile-world CLI smoke (active mutators + timelock budget)"
+"$BUILD_DIR/splicer_cli" compare --nodes 60 --payments 300 \
+  --fault-rate 2 --churn-rate 2 --fee-policy 1 --timelock-budget 16 \
+  > "$SMOKE_DIR/hostile.txt"
+grep -q "hostile: fault-rate 2" "$SMOKE_DIR/hostile.txt"
+
 echo "CI: ASan+UBSan smoke subset"
 SAN_DIR="$BUILD_DIR-asan"
 cmake -B "$SAN_DIR" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DSPLICER_SANITIZE=ON -DSPLICER_BUILD_BENCH=OFF
 cmake --build "$SAN_DIR" -j "$JOBS"
 ctest --test-dir "$SAN_DIR" -L smoke --output-on-failure -j "$JOBS"
+# The hostile-world suites under the sanitizers: the churn close-sweep
+# refunds TUs whose vectors were moved out at resolution, so any stale
+# read through a resolved LiveTu surfaces here as a hard error.
+ctest --test-dir "$SAN_DIR" --output-on-failure -j "$JOBS" \
+  -R 'scenario_mutator_test|robustness_test'
 
 echo "CI: SPLICER_AUDIT smoke subset (dynamic contract witnesses)"
 AUDIT_DIR="$BUILD_DIR-audit"
@@ -174,6 +212,8 @@ cmake -B "$AUDIT_DIR" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DSPLICER_AUDIT=ON -DSPLICER_BUILD_BENCH=OFF
 cmake --build "$AUDIT_DIR" -j "$JOBS"
 ctest --test-dir "$AUDIT_DIR" -L smoke --output-on-failure -j "$JOBS"
+echo "CI: churn-storm stress under SPLICER_AUDIT (dynamic witnesses on)"
+"$AUDIT_DIR/robustness_test" --gtest_filter='DeadlockUnderChurn.*'
 
 echo "CI: ThreadSanitizer sharded-engine smoke"
 TSAN_DIR="$BUILD_DIR-tsan"

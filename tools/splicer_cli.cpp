@@ -7,6 +7,8 @@
 //                        [--trace-file CSV] [--streaming] [--no-retain]
 //                        [--burst-period S] [--burst-amplitude A]
 //                        [--shift-interval S] [--shards N]
+//                        [--fault-rate R] [--churn-rate R] [--fee-policy R]
+//                        [--timelock-budget N]
 //       run all six schemes on one shared scenario and print the comparison;
 //       simulations fan out over N worker threads (0 = all hardware
 //       threads) and, with K > 1, repeat over K derived-seed workloads and
@@ -21,7 +23,11 @@
 //       --shards > 1 runs each simulation on N engine shards with
 //       barrier-synchronised cross-shard mailboxes (deterministic for a
 //       fixed N; see README "Parallelism"); requires --trials 1, and
-//       --threads then caps the shard workers instead of the scheme fan-out
+//       --threads then caps the shard workers instead of the scheme fan-out.
+//       The hostile-world knobs (all default off; see README "Hostile-world
+//       scenarios") inject Poisson faults/churn/policy rewrites:
+//       --fault-rate/--churn-rate/--fee-policy are events per second and
+//       --timelock-budget bounds admissible path timelock depth
 //
 //   splicer_cli place    [--nodes N] [--candidates N] [--omega W] [--seed S]
 //                        [--solver exhaustive|approx|milp|descent]
@@ -171,6 +177,28 @@ int cmd_compare(const Args& args) {
   // materialised runs too. Metrics are identical either way.
   scheme_config.engine.retain_resolved =
       !args.flag("no-retain") && !config.workload.streaming;
+  // Hostile-world scenario pack: Poisson fault/churn/policy mutation
+  // streams. All default off, in which case the run is byte-identical to
+  // a benign one (no mutators are built at all).
+  auto& hostile = scheme_config.engine.hostile;
+  hostile.fault_rate = args.real("fault-rate", 0.0);
+  hostile.churn_rate = args.real("churn-rate", 0.0);
+  hostile.fee_policy_rate = args.real("fee-policy", 0.0);
+  hostile.timelock_budget = static_cast<std::uint32_t>(args.u64(
+      "timelock-budget", pcn::HostileConfig::kUnboundedTimelock));
+  hostile.validate();
+  if (hostile.any_mutation_active() ||
+      hostile.timelock_budget != pcn::HostileConfig::kUnboundedTimelock) {
+    std::cout << "hostile: fault-rate " << hostile.fault_rate
+              << "/s, churn-rate " << hostile.churn_rate << "/s, fee-policy "
+              << hostile.fee_policy_rate << "/s, timelock-budget ";
+    if (hostile.timelock_budget == pcn::HostileConfig::kUnboundedTimelock) {
+      std::cout << "unbounded";
+    } else {
+      std::cout << hostile.timelock_budget;
+    }
+    std::cout << "\n";
+  }
   std::vector<routing::SchemeTask> tasks;
   for (const auto scheme :
        {routing::Scheme::kSplicer, routing::Scheme::kSpider,
